@@ -1,0 +1,79 @@
+"""Ablation — sensitivity of Catfish to the Algorithm 1 parameters.
+
+Not a paper figure; DESIGN.md §6 calls this out.  Sweeps the back-off
+window base N and the busy threshold T at a CPU-saturating operating
+point and reports throughput / latency / offload fraction.
+
+Expected: very small N reacts too timidly (low offload fraction, close to
+fast-messaging behaviour); very low T offloads eagerly even when the
+server could serve requests faster; the paper's N=8, T=95% sits in the
+sweet spot.
+"""
+
+from conftest import preset, print_figure, run_point
+
+from repro import AdaptiveParams
+
+
+def run_with(N, T):
+    p = preset()
+    return run_point(
+        scheme="catfish",
+        fabric="ib-100g",
+        n_clients=p.client_sweep[-1],
+        paper_scale="0.00001",
+        adaptive=AdaptiveParams(N=N, T=T, Inv=p.heartbeat_interval),
+        seed=4,
+    )
+
+
+def test_ablation_backoff_window(benchmark):
+    """Sweep N (the offload window base) at T=95%."""
+    Ns = (1, 2, 8, 32, 128)
+
+    def run():
+        return {N: run_with(N, 0.95) for N in Ns}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [str(N),
+         f"{r.throughput_kops:.1f}",
+         f"{r.mean_latency_us:.1f}",
+         f"{r.offload_fraction * 100:.1f}%",
+         f"{r.server_cpu_utilization * 100:.1f}%"]
+        for N, r in results.items()
+    ]
+    print_figure(
+        "Ablation  Catfish vs back-off window base N (T=95%)",
+        ["N", "kops", "mean_us", "offload", "cpu"],
+        rows,
+    )
+    # Larger windows offload more under sustained saturation.
+    assert (results[128].offload_fraction
+            > results[1].offload_fraction)
+    # The paper's N=8 must beat the degenerate no-window case.
+    assert results[8].throughput_kops >= results[1].throughput_kops * 0.95
+
+
+def test_ablation_busy_threshold(benchmark):
+    """Sweep T (the busy threshold) at N=8."""
+    Ts = (0.5, 0.75, 0.95)
+
+    def run():
+        return {T: run_with(8, T) for T in Ts}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [f"{T:.2f}",
+         f"{r.throughput_kops:.1f}",
+         f"{r.mean_latency_us:.1f}",
+         f"{r.offload_fraction * 100:.1f}%"]
+        for T, r in results.items()
+    ]
+    print_figure(
+        "Ablation  Catfish vs busy threshold T (N=8)",
+        ["T", "kops", "mean_us", "offload"],
+        rows,
+    )
+    # Lower thresholds offload at least as much as the strict one.
+    assert results[0.5].offload_fraction >= results[0.95].offload_fraction

@@ -1,0 +1,63 @@
+"""Ablation — which of Catfish's three ingredients buys what?
+
+DESIGN.md §6 items 2/3: isolate the event-based server and the
+multi-issue traversal by running the scheme-registry variants at the
+CPU-bound operating point:
+
+* ``catfish``               — full system;
+* ``catfish-polling``       — adaptive + multi-issue, but polling server;
+* ``catfish-single-issue``  — adaptive + event server, one read per RTT;
+* ``fast-messaging-event``  — event server alone, no offloading.
+"""
+
+from conftest import preset, print_figure, run_point
+
+VARIANTS = (
+    "catfish",
+    "catfish-polling",
+    "catfish-single-issue",
+    "fast-messaging-event",
+)
+
+
+def test_ablation_catfish_variants(benchmark):
+    p = preset()
+    n = p.client_sweep[-1]
+
+    def run():
+        return {
+            scheme: run_point(
+                scheme=scheme,
+                fabric="ib-100g",
+                n_clients=n,
+                paper_scale="0.00001",
+                seed=7,
+            )
+            for scheme in VARIANTS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [scheme,
+         f"{r.throughput_kops:.1f}",
+         f"{r.mean_latency_us:.1f}",
+         f"{r.offload_fraction * 100:.1f}%",
+         f"{r.server_cpu_utilization * 100:.1f}%"]
+        for scheme, r in results.items()
+    ]
+    print_figure(
+        f"Ablation  Catfish ingredient isolation ({n} clients, CPU-bound)",
+        ["variant", "kops", "mean_us", "offload", "cpu"],
+        rows,
+    )
+    full = results["catfish"]
+    polling = results["catfish-polling"]
+    fm_event = results["fast-messaging-event"]
+
+    # The event-based server matters: polling Catfish loses throughput.
+    assert full.throughput_kops > polling.throughput_kops
+    # Offloading matters: event-FM alone trails full Catfish.
+    assert full.throughput_kops > fm_event.throughput_kops
+    # Every variant still offloads except the pure fast-messaging one.
+    assert fm_event.offload_fraction == 0.0
+    assert full.offload_fraction > 0.0

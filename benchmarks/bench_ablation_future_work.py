@@ -1,0 +1,62 @@
+"""Ablation — the paper's future-work ideas, implemented and measured.
+
+§V-B observes that under *constant* overload Algorithm 1 keeps bouncing
+clients back to fast messaging (it must probe to learn the server is
+still busy) and suggests (a) smarter utilization prediction (§VI) and
+(b) learned mode selection.  This bench compares, at a sustained
+CPU-saturating operating point:
+
+* ``catfish``        — Algorithm 1 with the paper's predUtil (latest);
+* ``catfish-ewma``   — damped prediction;
+* ``catfish-trend``  — extrapolating prediction;
+* ``catfish-bandit`` — ε-greedy latency bandit (no heartbeats at all).
+"""
+
+from conftest import preset, print_figure, run_point
+
+VARIANTS = ("catfish", "catfish-ewma", "catfish-trend", "catfish-bandit")
+
+
+def test_ablation_future_work_selectors(benchmark):
+    p = preset()
+    n = p.client_sweep[-1]
+
+    def run():
+        return {
+            scheme: run_point(
+                scheme=scheme,
+                fabric="ib-100g",
+                n_clients=n,
+                paper_scale="0.00001",
+                seed=9,
+                server_cores=14,  # sustained saturation
+            )
+            for scheme in VARIANTS
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [scheme,
+         f"{r.throughput_kops:.1f}",
+         f"{r.mean_latency_us:.1f}",
+         f"{r.offload_fraction * 100:.1f}%",
+         f"{r.server_cpu_utilization * 100:.1f}%",
+         str(r.heartbeats_sent)]
+        for scheme, r in results.items()
+    ]
+    print_figure(
+        f"Ablation  mode-selection policies under sustained overload "
+        f"({n} clients, 14 cores)",
+        ["policy", "kops", "mean_us", "offload", "cpu", "beats"],
+        rows,
+    )
+    base = results["catfish"]
+    bandit = results["catfish-bandit"]
+    # The bandit needs no heartbeats yet stays competitive (within 25%)
+    # or better — the paper's conjecture that learning can replace the
+    # heuristic under sustained overload.
+    assert bandit.heartbeats_sent == 0
+    assert bandit.throughput_kops > base.throughput_kops * 0.75
+    # All policies keep the scheme functional.
+    for r in results.values():
+        assert r.total_requests == n * p.requests_per_client

@@ -1,0 +1,61 @@
+"""Ablation — skewed access patterns aggravate the bottlenecks.
+
+The paper's introduction: "such bottlenecks will be further aggravated by
+skew access patterns in real workloads [4]".  This bench compares the
+uniform hybrid workload against one whose searches cluster on Zipf
+hotspots (colliding with the corner-skewed insert stream) and checks the
+aggravation is visible in the mechanisms that mediate it:
+
+* on the server path: read/write lock contention -> higher latency;
+* on the offload path: torn-read retries go up.
+"""
+
+from conftest import preset, print_figure, run_point
+
+
+def _pair(scheme, workload, seed=12):
+    p = preset()
+    return run_point(
+        scheme=scheme,
+        fabric="ib-100g",
+        n_clients=p.client_sweep[-1],
+        paper_scale="0.00001",
+        workload_kind=workload,
+        insert_fraction=0.2,
+        seed=seed,
+    )
+
+
+def test_ablation_skew_aggravates_bottlenecks(benchmark):
+    def run():
+        out = {}
+        for scheme in ("fast-messaging-event", "rdma-offloading",
+                       "catfish"):
+            out[(scheme, "uniform")] = _pair(scheme, "hybrid")
+            out[(scheme, "skewed")] = _pair(scheme, "hybrid-skewed")
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for (scheme, kind), r in results.items():
+        rows.append([
+            scheme,
+            kind,
+            f"{r.throughput_kops:.1f}",
+            f"{r.mean_latency_us:.1f}",
+            str(r.torn_retries),
+        ])
+    print_figure(
+        "Ablation  uniform vs Zipf-hotspot hybrid (20% inserts)",
+        ["scheme", "searches", "kops", "mean_us", "torn"],
+        rows,
+    )
+    # Offloading clients collide with the skewed insert stream more often.
+    assert (results[("rdma-offloading", "skewed")].torn_retries
+            >= results[("rdma-offloading", "uniform")].torn_retries)
+    # Catfish still completes everything under skew.
+    skew_catfish = results[("catfish", "skewed")]
+    p = preset()
+    assert skew_catfish.total_requests == (
+        p.client_sweep[-1] * p.requests_per_client
+    )

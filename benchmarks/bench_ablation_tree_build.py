@@ -1,0 +1,85 @@
+"""Ablation — STR bulk loading vs incremental R* construction.
+
+DESIGN.md §6 item 5: the harness bulk loads with STR for speed; does that
+change the conclusions?  Compares tree quality (nodes visited per search,
+which drives both server CPU and offload read counts) between an STR-built
+and an R*-insert-built tree over the same data, plus build cost.
+"""
+
+import random
+import time
+
+from conftest import print_figure
+
+from repro.rtree import RStarTree, bulk_load
+from repro.workloads import uniform_dataset, uniform_scale_rect
+
+N_ITEMS = 8000
+N_QUERIES = 200
+
+
+def _build_trees():
+    items = uniform_dataset(N_ITEMS, seed=3)
+    t0 = time.perf_counter()
+    str_tree = bulk_load(items, max_entries=32)
+    str_build = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    rstar = RStarTree(max_entries=32)
+    for rect, i in items:
+        rstar.insert(rect, i)
+    rstar_build = time.perf_counter() - t0
+    return str_tree, str_build, rstar, rstar_build
+
+
+def _visits(tree, scale, seed=4):
+    rng = random.Random(seed)
+    total = 0
+    for _ in range(N_QUERIES):
+        query = uniform_scale_rect(rng, scale)
+        total += tree.search(query).nodes_visited
+    return total / N_QUERIES
+
+
+def test_ablation_str_vs_incremental(benchmark):
+    def run():
+        str_tree, str_build, rstar, rstar_build = _build_trees()
+        out = {
+            "str_build_s": str_build,
+            "rstar_build_s": rstar_build,
+            "str_nodes": str_tree.node_count,
+            "rstar_nodes": rstar.node_count,
+        }
+        for scale in (0.001, 0.01, 0.1):
+            out[f"str_visits_{scale}"] = _visits(str_tree, scale)
+            out[f"rstar_visits_{scale}"] = _visits(rstar, scale)
+        # correctness cross-check on one broad query
+        from repro.rtree import Rect
+        q = Rect(0.2, 0.2, 0.5, 0.5)
+        assert (sorted(str_tree.search(q).data_ids)
+                == sorted(rstar.search(q).data_ids))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["build time (s)", f"{out['str_build_s']:.3f}",
+         f"{out['rstar_build_s']:.3f}"],
+        ["node count", str(out["str_nodes"]), str(out["rstar_nodes"])],
+    ]
+    for scale in (0.001, 0.01, 0.1):
+        rows.append([
+            f"visits @ {scale}",
+            f"{out[f'str_visits_{scale}']:.2f}",
+            f"{out[f'rstar_visits_{scale}']:.2f}",
+        ])
+    print_figure(
+        "Ablation  STR bulk load vs incremental R* build",
+        ["metric", "STR", "R*"],
+        rows,
+    )
+    # STR must be far cheaper to build...
+    assert out["str_build_s"] < out["rstar_build_s"] / 5
+    # ...and of comparable search quality (within 2.5x visits) so using it
+    # for the experiment pre-builds does not distort the figures.
+    for scale in (0.001, 0.01, 0.1):
+        assert (out[f"str_visits_{scale}"]
+                < out[f"rstar_visits_{scale}"] * 2.5)

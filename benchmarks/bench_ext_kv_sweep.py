@@ -1,0 +1,59 @@
+"""Extension sweep — the §VI structures under the Fig-10 methodology.
+
+The figure the paper never had: B+tree and cuckoo GET-heavy workloads
+(zipf-popular keys, 10% writes) swept over client counts, comparing fast
+messaging, always-offload and adaptive Catfish, using the KV experiment
+harness.
+"""
+
+import pytest
+
+from conftest import print_figure
+
+from repro.cluster import KvExperimentConfig, run_kv_experiment
+
+CLIENTS = (8, 16, 32)
+SCHEMES = ("fast-messaging", "rdma-offloading", "catfish")
+
+
+def _sweep(index):
+    grid = {}
+    for scheme in SCHEMES:
+        for n in CLIENTS:
+            grid[(scheme, n)] = run_kv_experiment(KvExperimentConfig(
+                index=index,
+                scheme=scheme,
+                n_clients=n,
+                requests_per_client=80,
+                n_keys=20_000,
+                server_cores=4,
+                heartbeat_interval=0.2e-3,
+                seed=4,
+            ))
+    return grid
+
+
+@pytest.mark.parametrize("index", ["btree", "cuckoo"])
+def test_ext_kv_sweep(benchmark, index):
+    grid = benchmark.pedantic(lambda: _sweep(index), rounds=1, iterations=1)
+    rows = []
+    for scheme in SCHEMES:
+        rows.append(
+            [scheme]
+            + [f"{grid[(scheme, n)].throughput_kops:.1f}" for n in CLIENTS]
+            + [f"{grid[(scheme, CLIENTS[-1])].mean_latency_us:.1f}"]
+        )
+    print_figure(
+        f"Ext  {index} GET-heavy zipf workload (Kops; last col mean_us "
+        f"@{CLIENTS[-1]} clients)",
+        ["scheme"] + [str(n) for n in CLIENTS] + ["mean_us"],
+        rows,
+    )
+    top = CLIENTS[-1]
+    catfish = grid[("catfish", top)]
+    fm = grid[("fast-messaging", top)]
+    # adaptive >= fast messaging at saturation for both structures
+    assert catfish.throughput_kops >= fm.throughput_kops * 0.95
+    # every point completed its full request count
+    for result in grid.values():
+        assert result.total_requests == result.n_clients * 80

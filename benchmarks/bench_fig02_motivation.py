@@ -1,0 +1,67 @@
+"""Paper Fig 2 — motivation: where are the bottlenecks on TCP/1GbE?
+
+Reproduces the two panels: server CPU utilization and consumed server
+bandwidth vs the number of clients, for a large-scope workload (paper
+scale 0.01, bandwidth-intensive) and a small-scope workload (paper scale
+0.00001, CPU-intensive).
+
+Expected shape: at the large scale the server link saturates (bandwidth
+utilization -> 1) while the CPU stays lightly used; at the small scale
+CPU utilization is the high/limiting resource while bandwidth stays well
+below saturation.
+"""
+
+from conftest import preset, print_figure, run_point
+
+CLIENTS = (2, 4, 8, 16, 32)
+
+
+def _sweep(paper_scale):
+    rows = []
+    for n in CLIENTS:
+        result = run_point(
+            scheme="tcp",
+            fabric="eth-1g",
+            n_clients=n,
+            paper_scale=paper_scale,
+        )
+        rows.append([
+            str(n),
+            f"{result.server_cpu_utilization:.3f}",
+            f"{result.server_bandwidth_gbps:.3f}",
+            f"{result.server_bandwidth_utilization:.3f}",
+            f"{result.throughput_kops:.1f}",
+        ])
+    return rows
+
+
+def test_fig02a_bandwidth_bound(benchmark):
+    """Panel (a): scale 0.01 — bandwidth saturates before the CPU."""
+    rows = benchmark.pedantic(
+        lambda: _sweep("0.01"), rounds=1, iterations=1
+    )
+    print_figure(
+        "Fig 2(a)  TCP/1GbE, scale 0.01 (bandwidth-intensive)",
+        ["clients", "cpu_util", "gbps", "bw_util", "kops"],
+        rows,
+    )
+    last = rows[-1]
+    cpu_util, bw_util = float(last[1]), float(last[3])
+    assert bw_util > 0.5, "the server link should approach saturation"
+    assert bw_util > cpu_util, "bandwidth, not CPU, must be the bottleneck"
+
+
+def test_fig02b_cpu_bound(benchmark):
+    """Panel (b): scale 0.00001 — CPU is the scarce resource."""
+    rows = benchmark.pedantic(
+        lambda: _sweep("0.00001"), rounds=1, iterations=1
+    )
+    print_figure(
+        "Fig 2(b)  TCP/1GbE, scale 0.00001 (CPU-intensive)",
+        ["clients", "cpu_util", "gbps", "bw_util", "kops"],
+        rows,
+    )
+    last = rows[-1]
+    cpu_util, bw_util = float(last[1]), float(last[3])
+    assert cpu_util > bw_util, "CPU, not bandwidth, must be the bottleneck"
+    assert bw_util < 0.9, "bandwidth must not saturate in the CPU-bound case"

@@ -1,0 +1,81 @@
+"""Paper Fig 7 — polling- vs event-based fast messaging under
+oversubscription.
+
+The paper runs 80-320 client connections against 28 server cores (ratios
+2.9x-11.4x) and finds: polling latency grows ~quadratically (203 us at 80
+clients -> 3712 us at 320, 18x), event-based grows ~linearly (152 us ->
+680 us, 4.5x).  The preset shrinks client counts and cores together so the
+oversubscription ratios match the paper's exactly.
+"""
+
+from conftest import preset, print_figure, run_point
+
+
+def _sweep(scheme, paper_scale):
+    p = preset()
+    rows = []
+    latencies = []
+    for n in p.fig7_sweep:
+        result = run_point(
+            scheme=scheme,
+            fabric="ib-100g",
+            n_clients=n,
+            paper_scale=paper_scale,
+            server_cores=p.fig7_cores,
+        )
+        rows.append([
+            str(n),
+            f"{result.mean_latency_us:.1f}",
+            f"{result.p99_latency_us:.1f}",
+            f"{result.throughput_kops:.1f}",
+        ])
+        latencies.append(result.mean_latency_us)
+    return rows, latencies
+
+
+def test_fig07a_small_scale(benchmark):
+    """Scale 0.00001 (the CPU-bound panel the paper highlights)."""
+    def run():
+        polling = _sweep("fast-messaging", "0.00001")
+        event = _sweep("fast-messaging-event", "0.00001")
+        return polling, event
+
+    (poll_rows, poll_lat), (event_rows, event_lat) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_figure(
+        "Fig 7(a)  polling-based fast messaging, scale 0.00001",
+        ["clients", "mean_us", "p99_us", "kops"], poll_rows,
+    )
+    print_figure(
+        "Fig 7(a)  event-based fast messaging, scale 0.00001",
+        ["clients", "mean_us", "p99_us", "kops"], event_rows,
+    )
+    # Event-based beats polling at every oversubscribed point.
+    assert all(e < p for p, e in zip(poll_lat, event_lat))
+    # Polling degrades super-linearly: 4x the clients, >> 4x the latency
+    # growth relative to event-based.
+    poll_growth = poll_lat[-1] / poll_lat[0]
+    event_growth = event_lat[-1] / event_lat[0]
+    assert poll_growth > event_growth
+
+
+def test_fig07b_large_scale(benchmark):
+    """Scale 0.01 (the bandwidth-heavier panel)."""
+    def run():
+        polling = _sweep("fast-messaging", "0.01")
+        event = _sweep("fast-messaging-event", "0.01")
+        return polling, event
+
+    (poll_rows, poll_lat), (event_rows, event_lat) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_figure(
+        "Fig 7(b)  polling-based fast messaging, scale 0.01",
+        ["clients", "mean_us", "p99_us", "kops"], poll_rows,
+    )
+    print_figure(
+        "Fig 7(b)  event-based fast messaging, scale 0.01",
+        ["clients", "mean_us", "p99_us", "kops"], event_rows,
+    )
+    assert all(e < p for p, e in zip(poll_lat, event_lat))

@@ -1,0 +1,127 @@
+"""Paper Fig 9 — communication micro-benchmark.
+
+Ping-pong transfers (1-byte request, variable-size response) over TCP on
+1/40 GbE, and perftest-style RDMA Read / RDMA Write streams on InfiniBand,
+for chunk sizes from 2 B to 8 MB.  Reports latency (Fig 9a) and
+throughput (Fig 9b).
+
+Expected shapes: RDMA Write lowest latency; RDMA Read above Write for
+small sizes (it needs a full round trip); TCP/1G worst; all methods flat
+below ~2 KB and bandwidth-limited above.
+"""
+
+from conftest import print_figure
+
+from repro.hw import Host
+from repro.net import ETH_1G, ETH_40G, IB_100G, Network
+from repro.sim import Simulator
+from repro.transport import TcpConnection, connect
+
+SIZES = (2, 64, 1024, 16 * 1024, 256 * 1024, 1024 * 1024, 8 * 1024 * 1024)
+REPS = 12
+
+
+class _Blob:
+    """RDMA target that accepts writes and serves reads of any size."""
+
+    def rdma_write(self, address, length, payload, now):
+        pass
+
+    def rdma_read(self, address, length, now):
+        return b""
+
+
+def _tcp_pingpong(profile, size, reps=REPS):
+    """Mean one-chunk latency (s) for request(1B) -> response(size)."""
+    sim = Simulator()
+    net = Network(sim, profile)
+    server = Host(sim, "server", profile)
+    client = Host(sim, "client", profile, cores=2)
+    net.attach_server(server)
+    conn = TcpConnection(sim, net, client, server)
+
+    def server_proc():
+        for _ in range(reps):
+            yield conn.server_recv()
+            yield from conn.server_send(b"", size)
+
+    def client_proc():
+        t0 = sim.now
+        for _ in range(reps):
+            yield from conn.client_send(b"", 1)
+            yield conn.client_recv()
+        return (sim.now - t0) / reps
+
+    sim.process(server_proc())
+    p = sim.process(client_proc())
+    sim.run_until_triggered(p)
+    return p.value
+
+
+def _rdma_stream(op, size, reps=REPS):
+    """Mean per-chunk latency (s) for back-to-back RDMA Read/Write."""
+    sim = Simulator()
+    net = Network(sim, IB_100G)
+    server = Host(sim, "server", IB_100G)
+    client = Host(sim, "client", IB_100G, cores=2)
+    net.attach_server(server)
+    region = server.memory.register(max(size, 1) + 64, name="blob")
+    server.memory.bind(region.rkey, _Blob())
+    qp, _ = connect(sim, net, client, server)
+
+    def client_proc():
+        t0 = sim.now
+        for _ in range(reps):
+            if op == "read":
+                yield qp.post_read(region.rkey, region.base, size)
+            else:
+                yield qp.post_write(region.rkey, region.base, b"", size)
+        return (sim.now - t0) / reps
+
+    p = sim.process(client_proc())
+    sim.run_until_triggered(p)
+    return p.value
+
+
+METHODS = (
+    ("tcp-1g", lambda size: _tcp_pingpong(ETH_1G, size)),
+    ("tcp-40g", lambda size: _tcp_pingpong(ETH_40G, size)),
+    ("rdma-read", lambda size: _rdma_stream("read", max(size, 1))),
+    ("rdma-write", lambda size: _rdma_stream("write", size)),
+)
+
+
+def test_fig09_micro_benchmark(benchmark):
+    def run():
+        table = {}
+        for name, fn in METHODS:
+            table[name] = [fn(size) for size in SIZES]
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lat_rows = []
+    thr_rows = []
+    for i, size in enumerate(SIZES):
+        lat_rows.append(
+            [str(size)] + [f"{table[m][i] * 1e6:.2f}" for m, _ in METHODS]
+        )
+        thr_rows.append(
+            [str(size)]
+            + [f"{size * 8 / table[m][i] / 1e9:.3f}" for m, _ in METHODS]
+        )
+    headers = ["bytes"] + [m for m, _ in METHODS]
+    print_figure("Fig 9(a)  transmission latency (us)", headers, lat_rows)
+    print_figure("Fig 9(b)  throughput (Gbps)", headers, thr_rows)
+
+    small = SIZES.index(64)
+    big = SIZES.index(8 * 1024 * 1024)
+    # RDMA Write has the lowest small-transfer latency; Read costs a
+    # round trip more; TCP/1G is the worst.
+    assert table["rdma-write"][small] < table["rdma-read"][small]
+    assert table["rdma-read"][small] < table["tcp-40g"][small]
+    assert table["tcp-40g"][small] < table["tcp-1g"][small]
+    # Large transfers are bandwidth-limited: RDMA ~100G > 40G > 1G.
+    assert table["tcp-1g"][big] > table["tcp-40g"][big] > table["rdma-write"][big]
+    # TCP latency is flat for small sizes (latency-dominated).
+    assert table["tcp-1g"][small] < table["tcp-1g"][0] * 1.5

@@ -1,0 +1,47 @@
+"""Paper Fig 11 — latency, 100% search workloads.
+
+Same experiment grid as Fig 10 (the session cache shares the runs);
+reports the mean request latency per scheme.  Expected shape: both TCP
+baselines have order-of-magnitude higher latency (kernel path), fast
+messaging degrades sharply with load, RDMA offloading stays flat and low,
+and Catfish tracks the best of both.
+"""
+
+import pytest
+
+from bench_fig10_search_throughput import (
+    PAPER_SCALES,
+    SCHEME_FABRICS,
+    headers,
+    rows_from,
+    sweep,
+)
+from conftest import preset, print_figure
+
+
+@pytest.mark.parametrize("paper_scale", PAPER_SCALES)
+def test_fig11_latency(benchmark, paper_scale):
+    grid = benchmark.pedantic(
+        lambda: sweep(paper_scale), rounds=1, iterations=1
+    )
+    print_figure(
+        f"Fig 11  mean search latency (us), scale {paper_scale}",
+        headers(),
+        rows_from(grid, lambda r: r.mean_latency_us),
+    )
+    max_clients = preset().client_sweep[-1]
+
+    def latency(scheme, fabric):
+        return grid[(scheme, fabric, max_clients)].mean_latency_us
+
+    catfish = latency("catfish", "ib-100g")
+    fm = latency("fast-messaging", "ib-100g")
+    tcp1g = latency("tcp", "eth-1g")
+    tcp40g = latency("tcp", "eth-40g")
+
+    # Catfish must beat fast messaging and both TCP baselines.
+    assert catfish < fm
+    assert catfish < tcp1g
+    assert catfish < tcp40g
+    # TCP over 1 GbE is the worst (paper: up to 24.46x over Catfish).
+    assert tcp1g > 2 * catfish

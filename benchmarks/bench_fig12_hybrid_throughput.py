@@ -1,0 +1,80 @@
+"""Paper Fig 12 — throughput with 90% search + 10% insert workloads.
+
+The inserts are at corner-skewed locations (§V-B).  Expected shapes:
+Catfish still leads; RDMA offloading degrades relative to the search-only
+runs because concurrent server-side inserts make one-sided reads fail
+version validation and retry (the paper: "more inserts ... the higher
+probability the clients will find the read-write conflict").
+
+Runs are shared with bench_fig13 (latency) through the session cache.
+"""
+
+import pytest
+
+from conftest import preset, print_figure, run_point
+
+SCHEME_FABRICS = (
+    ("tcp", "eth-1g"),
+    ("tcp", "eth-40g"),
+    ("fast-messaging", "ib-100g"),
+    ("rdma-offloading", "ib-100g"),
+    ("catfish", "ib-100g"),
+)
+
+PAPER_SCALES = ("0.00001", "0.01", "powerlaw")
+
+
+def sweep(paper_scale):
+    grid = {}
+    for scheme, fabric in SCHEME_FABRICS:
+        for n in preset().client_sweep:
+            grid[(scheme, fabric, n)] = run_point(
+                scheme=scheme,
+                fabric=fabric,
+                n_clients=n,
+                paper_scale=paper_scale,
+                workload_kind="hybrid",
+            )
+    return grid
+
+
+def rows_from(grid, metric):
+    rows = []
+    for scheme, fabric in SCHEME_FABRICS:
+        row = [f"{scheme}@{fabric}"]
+        for n in preset().client_sweep:
+            row.append(f"{metric(grid[(scheme, fabric, n)]):.1f}")
+        rows.append(row)
+    return rows
+
+
+def headers():
+    return ["scheme"] + [str(n) for n in preset().client_sweep]
+
+
+@pytest.mark.parametrize("paper_scale", PAPER_SCALES)
+def test_fig12_hybrid_throughput(benchmark, paper_scale):
+    grid = benchmark.pedantic(
+        lambda: sweep(paper_scale), rounds=1, iterations=1
+    )
+    print_figure(
+        f"Fig 12  hybrid (90/10) throughput (Kops), scale {paper_scale}",
+        headers(),
+        rows_from(grid, lambda r: r.throughput_kops),
+    )
+    max_clients = preset().client_sweep[-1]
+
+    def res(scheme, fabric):
+        return grid[(scheme, fabric, max_clients)]
+
+    catfish = res("catfish", "ib-100g")
+    offload = res("rdma-offloading", "ib-100g")
+    tcp1g = res("tcp", "eth-1g")
+
+    # Catfish still leads the baselines.
+    assert catfish.throughput_kops > offload.throughput_kops
+    assert catfish.throughput_kops > tcp1g.throughput_kops
+    # Offloading clients now hit read-write conflicts and retry.
+    assert offload.torn_retries > 0
+    # The server actually served the write stream.
+    assert catfish.inserts_served > 0

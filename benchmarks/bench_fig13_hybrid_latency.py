@@ -1,0 +1,42 @@
+"""Paper Fig 13 — latency with 90% search + 10% insert workloads.
+
+Same grid as Fig 12 (shared runs).  Expected: the same trends as the
+search-only latency figure — Catfish low, TCP an order of magnitude
+higher — plus visible degradation of offloading as retry rates rise.
+"""
+
+import pytest
+
+from bench_fig12_hybrid_throughput import (
+    PAPER_SCALES,
+    SCHEME_FABRICS,
+    headers,
+    rows_from,
+    sweep,
+)
+from conftest import preset, print_figure
+
+
+@pytest.mark.parametrize("paper_scale", PAPER_SCALES)
+def test_fig13_hybrid_latency(benchmark, paper_scale):
+    grid = benchmark.pedantic(
+        lambda: sweep(paper_scale), rounds=1, iterations=1
+    )
+    print_figure(
+        f"Fig 13  hybrid (90/10) mean latency (us), scale {paper_scale}",
+        headers(),
+        rows_from(grid, lambda r: r.mean_latency_us),
+    )
+    max_clients = preset().client_sweep[-1]
+
+    def latency(scheme, fabric):
+        return grid[(scheme, fabric, max_clients)].mean_latency_us
+
+    catfish = latency("catfish", "ib-100g")
+    tcp1g = latency("tcp", "eth-1g")
+    tcp40g = latency("tcp", "eth-40g")
+    fm = latency("fast-messaging", "ib-100g")
+
+    assert catfish < tcp1g
+    assert catfish < tcp40g
+    assert catfish < fm

@@ -1,0 +1,90 @@
+"""Paper Fig 14 — the rea02 real-world dataset.
+
+Uses the synthetic rea02 stand-in (see DESIGN.md): California street
+segments grouped in ~20k-object sub-regions, queries sized to return
+50-150 (mean ~100) rectangles.  Expected: the same ordering as the
+search-only experiments — Catfish highest throughput and lowest latency,
+TCP an order of magnitude behind.
+"""
+
+import pytest
+
+from conftest import preset, print_figure, run_point
+
+from repro.workloads import generate_rea02, generate_rea02_queries
+
+SCHEME_FABRICS = (
+    ("tcp", "eth-1g"),
+    ("tcp", "eth-40g"),
+    ("fast-messaging", "ib-100g"),
+    ("rdma-offloading", "ib-100g"),
+    ("catfish", "ib-100g"),
+)
+
+_cache = {}
+
+
+def rea02_inputs():
+    p = preset()
+    key = p.dataset_size
+    if key not in _cache:
+        # Scale the region size with the dataset so region structure holds.
+        sub = max(500, 20_000 * p.dataset_size // 1_888_012)
+        items = generate_rea02(n=p.dataset_size, subregion_objects=sub,
+                               seed=14)
+        queries = generate_rea02_queries(
+            512, dataset_size=p.dataset_size, seed=15
+        )
+        _cache[key] = (items, queries)
+    return _cache[key]
+
+
+def sweep():
+    items, queries = rea02_inputs()
+    grid = {}
+    for scheme, fabric in SCHEME_FABRICS:
+        for n in preset().client_sweep:
+            grid[(scheme, fabric, n)] = run_point(
+                scheme=scheme,
+                fabric=fabric,
+                n_clients=n,
+                paper_scale="0.00001",  # ignored for query workloads
+                workload_kind="queries",
+                queries=queries,
+                dataset=items,
+            )
+    return grid
+
+
+def test_fig14_rea02(benchmark):
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    clients = preset().client_sweep
+    thr_rows, lat_rows = [], []
+    for scheme, fabric in SCHEME_FABRICS:
+        label = f"{scheme}@{fabric}"
+        thr_rows.append([label] + [
+            f"{grid[(scheme, fabric, n)].throughput_kops:.1f}"
+            for n in clients
+        ])
+        lat_rows.append([label] + [
+            f"{grid[(scheme, fabric, n)].mean_latency_us:.1f}"
+            for n in clients
+        ])
+    headers = ["scheme"] + [str(n) for n in clients]
+    print_figure("Fig 14(a)  rea02 throughput (Kops)", headers, thr_rows)
+    print_figure("Fig 14(b)  rea02 mean latency (us)", headers, lat_rows)
+
+    n = clients[-1]
+    catfish = grid[("catfish", "ib-100g", n)]
+    fm = grid[("fast-messaging", "ib-100g", n)]
+    offload = grid[("rdma-offloading", "ib-100g", n)]
+    tcp1g = grid[("tcp", "eth-1g", n)]
+
+    assert catfish.throughput_kops > fm.throughput_kops
+    assert catfish.throughput_kops > offload.throughput_kops
+    assert catfish.throughput_kops > tcp1g.throughput_kops
+    assert catfish.mean_latency_us < tcp1g.mean_latency_us
+    # rea02 queries really return ~100 results on average.
+    mean_results = (catfish.extra.get("mean_results")
+                    if catfish.extra else None)
+    # (checked structurally in tests/test_workloads.py)

@@ -1,0 +1,185 @@
+"""Shared benchmark harness: presets, scale equivalence, result caching.
+
+Every ``bench_figNN_*.py`` regenerates one figure of the paper.  The paper
+runs a 2-million-rectangle tree with up to 256 clients and 10,000 requests
+per client; that is far beyond what a pure-Python DES can grind through in
+a benchmark loop, so the default preset shrinks the experiment while
+preserving every qualitative claim:
+
+* the dataset shrinks, and query scales are rescaled by
+  ``sqrt(paper_size / dataset_size)`` so the *result-set cardinalities*
+  (and hence the CPU-vs-bandwidth balance) stay the paper's;
+* the client counts shrink 4x; where the oversubscription ratio matters
+  (Fig 7) the server core count shrinks with them so the ratios match the
+  paper's exactly;
+* heartbeat intervals shrink with the experiment duration so the adaptive
+  algorithm sees as many heartbeats as it would in a long run.
+
+Set ``CATFISH_BENCH_SCALE=medium`` (or ``large``) for bigger runs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro import AdaptiveParams, ExperimentConfig, RunResult, run_experiment
+from repro.workloads import PAPER_DATASET_SIZE, uniform_dataset
+
+
+@dataclass(frozen=True)
+class Preset:
+    name: str
+    dataset_size: int
+    requests_per_client: int
+    #: Client counts standing in for the paper's 32..256 sweep.
+    client_sweep: Tuple[int, ...]
+    #: Client counts for the paper's Fig 7 (80..320) sweep.
+    fig7_sweep: Tuple[int, ...]
+    #: Fig 7 server cores, chosen to match the paper's oversubscription.
+    fig7_cores: int
+    heartbeat_interval: float
+    max_entries: int = 64
+
+
+PRESETS = {
+    "small": Preset(
+        name="small",
+        dataset_size=40_000,
+        requests_per_client=60,
+        client_sweep=(8, 16, 32, 64),
+        fig7_sweep=(20, 40, 60, 80),
+        fig7_cores=7,
+        heartbeat_interval=0.25e-3,
+    ),
+    "medium": Preset(
+        name="medium",
+        dataset_size=200_000,
+        requests_per_client=200,
+        client_sweep=(16, 32, 64, 128),
+        fig7_sweep=(40, 80, 120, 160),
+        fig7_cores=14,
+        heartbeat_interval=0.5e-3,
+    ),
+    "large": Preset(
+        name="large",
+        dataset_size=2_000_000,
+        requests_per_client=1000,
+        client_sweep=(32, 64, 128, 256),
+        fig7_sweep=(80, 160, 240, 320),
+        fig7_cores=28,
+        heartbeat_interval=2e-3,
+        max_entries=64,
+    ),
+}
+
+
+def preset() -> Preset:
+    name = os.environ.get("CATFISH_BENCH_SCALE", "small")
+    if name not in PRESETS:
+        raise KeyError(
+            f"CATFISH_BENCH_SCALE={name!r}; known: {sorted(PRESETS)}"
+        )
+    return PRESETS[name]
+
+
+def equivalent_scale(paper_scale: float, dataset_size: int) -> float:
+    """Rescale a paper query scale to a smaller dataset so the expected
+    result count (density x area) is unchanged."""
+    return paper_scale * math.sqrt(PAPER_DATASET_SIZE / dataset_size)
+
+
+def scale_spec(paper_label: str, dataset_size: int) -> str:
+    """Map the paper's scale label to a rescaled generator spec."""
+    if paper_label == "powerlaw":
+        lo = equivalent_scale(1e-5, dataset_size)
+        hi = equivalent_scale(1e-2, dataset_size)
+        return f"powerlaw:{lo:.8g}:{hi:.8g}"
+    return f"{equivalent_scale(float(paper_label), dataset_size):.8g}"
+
+
+# -- dataset + result caches (shared across bench files in one session) -----
+
+_dataset_cache: Dict[Tuple[int, int], list] = {}
+_result_cache: Dict[tuple, RunResult] = {}
+
+
+def shared_dataset(size: int, seed: int = 0) -> list:
+    key = (size, seed)
+    if key not in _dataset_cache:
+        _dataset_cache[key] = uniform_dataset(size, seed=seed)
+    return _dataset_cache[key]
+
+
+def run_point(
+    scheme: str,
+    fabric: str,
+    n_clients: int,
+    paper_scale: str,
+    workload_kind: str = "search",
+    seed: int = 0,
+    **overrides,
+) -> RunResult:
+    """Run (or fetch from cache) one experiment point.
+
+    Figures 10/11 (and 12/13) share identical runs — one reports
+    throughput, the other latency — so points are cached per session.
+    """
+    p = preset()
+    key_overrides = tuple(
+        (k, id(v) if isinstance(v, (list, dict)) else v)
+        for k, v in sorted(overrides.items())
+    )
+    key = (scheme, fabric, n_clients, paper_scale, workload_kind, seed,
+           key_overrides)
+    if key in _result_cache:
+        return _result_cache[key]
+    config = ExperimentConfig(
+        scheme=scheme,
+        fabric=fabric,
+        n_clients=n_clients,
+        requests_per_client=overrides.pop(
+            "requests_per_client", p.requests_per_client
+        ),
+        workload_kind=workload_kind,
+        scale=scale_spec(paper_scale, p.dataset_size),
+        dataset=overrides.pop(
+            "dataset", None
+        ) or shared_dataset(p.dataset_size, seed=0),
+        dataset_size=p.dataset_size,
+        max_entries=overrides.pop("max_entries", p.max_entries),
+        heartbeat_interval=overrides.pop(
+            "heartbeat_interval", p.heartbeat_interval
+        ),
+        adaptive=overrides.pop(
+            "adaptive", None
+        ) or AdaptiveParams(N=8, T=0.95, Inv=p.heartbeat_interval),
+        seed=seed,
+        **overrides,
+    )
+    result = run_experiment(config)
+    _result_cache[key] = result
+    return result
+
+
+def print_figure(title: str, headers: List[str],
+                 rows: List[List[str]]) -> None:
+    """Render one paper-style series table to stdout."""
+    print()
+    print(f"=== {title} ===")
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def bench_preset():
+    return preset()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Hurricane-path property monitoring — the paper's large-scope scenario.
+
+"How many properties would be impaired in the area a hurricane will
+pass?"  Queries cover a large fraction of the map, so every request drags
+hundreds of rectangles back to the client: the *bandwidth-intensive*
+regime of the paper's Fig 2(a)/Fig 10(b).
+
+The example shows two things:
+
+1. on 1 GbE the server link saturates long before the CPU — exactly the
+   motivation measurement of the paper;
+2. on InfiniBand, RDMA offloading is the *wrong* tool here (fetching tree
+   chunks costs far more bandwidth than the response), and Catfish
+   correctly stays on fast messaging.
+"""
+
+from repro import ExperimentConfig, run_experiment
+from repro.workloads import uniform_dataset
+
+
+def main():
+    properties = uniform_dataset(30_000, max_edge=5e-4, seed=3)
+    print(f"monitoring {len(properties)} properties")
+
+    print("\n--- 1. The 1 GbE bottleneck (paper Fig 2a) ---")
+    print(f"{'clients':>8} {'Kops':>8} {'cpu':>7} {'link':>7}")
+    for n_clients in (4, 8, 16, 32):
+        result = run_experiment(ExperimentConfig(
+            scheme="tcp",
+            fabric="eth-1g",
+            n_clients=n_clients,
+            requests_per_client=40,
+            scale="0.08",  # hurricane-sized areas
+            dataset=properties,
+            seed=2,
+        ))
+        print(f"{n_clients:>8} {result.throughput_kops:>8.1f} "
+              f"{result.server_cpu_utilization * 100:>6.1f}% "
+              f"{result.server_bandwidth_utilization * 100:>6.1f}%")
+    print("the link hits 100% while the CPU idles -> faster NICs, not "
+          "more cores,\nare what this workload needs")
+
+    print("\n--- 2. Offloading is wrong for wide queries (Fig 10b) ---")
+    print(f"{'scheme':>18} {'Kops':>8} {'mean_us':>9} {'offload':>8} "
+          f"{'gbps':>7}")
+    for scheme in ("fast-messaging-event", "rdma-offloading", "catfish"):
+        result = run_experiment(ExperimentConfig(
+            scheme=scheme,
+            fabric="ib-100g",
+            n_clients=32,
+            requests_per_client=60,
+            scale="0.08",
+            dataset=properties,
+            server_cores=28,
+            heartbeat_interval=0.5e-3,
+            seed=2,
+        ))
+        print(f"{scheme:>18} {result.throughput_kops:>8.1f} "
+              f"{result.mean_latency_us:>9.1f} "
+              f"{result.offload_fraction * 100:>7.1f}% "
+              f"{result.server_bandwidth_gbps:>7.2f}")
+    print("offloading drags whole 4 KB tree chunks per node while the "
+          "answer itself\nis smaller — Catfish notices the idle CPU and "
+          "keeps the searches server-side")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Nearest-neighbour and aggregate queries over every access path.
+
+"Find the 5 nearest gas stations" is the other half of the paper's Fig 1
+scenario.  This example runs kNN and count-only queries through the
+library's three paths and shows their different characters:
+
+* server-side (fast messaging): one RTT regardless of k;
+* offloaded kNN: best-first search is inherently sequential — one RTT per
+  expanded node — the worst case for offloading;
+* count-only responses carry a single integer: wide aggregates that would
+  saturate the link as full searches become almost free.
+"""
+
+import random
+
+from repro.client import ClientStats, OffloadEngine
+from repro.client.base import OP_COUNT, OP_NEAREST, Request
+from repro.client.fm_client import FmSession
+from repro.hw import Host
+from repro.net import IB_100G, Network
+from repro.rtree import Rect
+from repro.server import EVENT, FastMessagingServer, RTreeServer
+from repro.sim import Simulator
+from repro.workloads import uniform_dataset
+
+
+def main():
+    sim = Simulator()
+    net = Network(sim, IB_100G)
+    server_host = Host(sim, "server", IB_100G, cores=8)
+    net.attach_server(server_host)
+    stations = uniform_dataset(25_000, seed=11)
+    server = RTreeServer(sim, server_host, stations, max_entries=32)
+    fm_server = FastMessagingServer(sim, server, net, mode=EVENT)
+    client_host = Host(sim, "client", IB_100G, cores=2)
+    conn = fm_server.open_connection(client_host)
+    stats = ClientStats()
+    fm = FmSession(sim, conn, 0, stats)
+    engine = OffloadEngine(sim, conn.client_end,
+                           server.offload_descriptor(), server.costs, stats)
+    rng = random.Random(12)
+
+    def timed(gen_fn, n=100):
+        def runner():
+            t0 = sim.now
+            out = None
+            for _ in range(n):
+                out = yield from gen_fn()
+            return (sim.now - t0) / n, out
+
+        p = sim.process(runner())
+        sim.run_until_triggered(p)
+        return p.value
+
+    print("25k gas stations, one client on simulated 100G InfiniBand\n")
+
+    # -- kNN --------------------------------------------------------------
+    print("k nearest stations (k=5):")
+    here = (rng.random(), rng.random())
+    fm_lat, fm_out = timed(lambda: fm.execute(
+        Request(OP_NEAREST, Rect.point(*here), k=5)))
+    off_lat, off_out = timed(lambda: engine.nearest(*here, k=5))
+    print(f"  fast messaging: {fm_lat * 1e6:7.2f} us   "
+          f"offloaded: {off_lat * 1e6:7.2f} us")
+    assert len(fm_out) == len(off_out) == 5
+    print("  -> best-first kNN expands one node per round trip when "
+          "offloaded; the\n     two paths tie for one idle client, but "
+          "the offloaded one costs zero\n     server CPU — the adaptive "
+          "client gets to pick per load.\n")
+
+    # -- count ------------------------------------------------------------
+    wide = Rect(0.1, 0.1, 0.9, 0.9)  # ~16k matching stations
+    print(f"how many stations inside a wide region?")
+    cnt_lat, count = timed(lambda: fm.execute(Request(OP_COUNT, wide)), n=30)
+    search_lat, matches = timed(lambda: fm.execute(
+        Request("search", wide)), n=30)
+    print(f"  count-only: {cnt_lat * 1e6:8.2f} us  (answer: {count})")
+    print(f"  full search: {search_lat * 1e6:7.2f} us  "
+          f"({len(matches)} rectangles shipped)")
+    print("  -> the aggregate answer fits in one cache line: no result "
+          "copying on the\n     server, no hundreds of KB of response "
+          "traffic on the wire.")
+
+
+if __name__ == "__main__":
+    main()

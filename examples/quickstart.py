@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Quickstart: build an R-tree, run one Catfish experiment, read results.
+
+Runs in a few seconds.  Two parts:
+
+1. the R*-tree as a plain library (no simulation) — insert, search,
+   delete;
+2. a full client-server experiment on the simulated 100 Gb InfiniBand
+   fabric comparing Catfish with the fast-messaging baseline.
+"""
+
+from repro import ExperimentConfig, RStarTree, Rect, run_experiment
+
+
+def part1_plain_rtree():
+    print("=" * 64)
+    print("Part 1 — the R*-tree as a library")
+    print("=" * 64)
+
+    tree = RStarTree(max_entries=16)
+    # A few shops around town (unit-square coordinates).
+    shops = {
+        1: Rect(0.20, 0.30, 0.21, 0.31),
+        2: Rect(0.22, 0.29, 0.23, 0.30),
+        3: Rect(0.80, 0.80, 0.82, 0.81),
+        4: Rect(0.50, 0.50, 0.51, 0.52),
+    }
+    for shop_id, rect in shops.items():
+        tree.insert(rect, shop_id)
+
+    nearby = tree.search(Rect(0.15, 0.25, 0.30, 0.35))
+    print(f"shops near the town centre: {sorted(nearby.data_ids)}")
+    print(f"tree height: {tree.height}, nodes: {tree.node_count}")
+
+    tree.delete(shops[2], 2)
+    nearby = tree.search(Rect(0.15, 0.25, 0.30, 0.35))
+    print(f"after closing shop 2:       {sorted(nearby.data_ids)}")
+
+
+def part2_catfish_experiment():
+    print()
+    print("=" * 64)
+    print("Part 2 — Catfish vs fast messaging on simulated InfiniBand")
+    print("=" * 64)
+
+    shared = dict(
+        fabric="ib-100g",
+        n_clients=32,
+        requests_per_client=100,
+        scale="0.0001",          # small-scope searches: CPU-intensive
+        dataset_size=20_000,
+        server_cores=8,          # easy to saturate for the demo
+        heartbeat_interval=0.5e-3,  # short demo: heartbeat often
+        seed=42,
+    )
+    fm = run_experiment(ExperimentConfig(scheme="fast-messaging", **shared))
+    catfish = run_experiment(ExperimentConfig(scheme="catfish", **shared))
+
+    print(f"{'scheme':>16} {'Kops':>8} {'mean latency':>13} "
+          f"{'server CPU':>11} {'offloaded':>10}")
+    for r in (fm, catfish):
+        print(f"{r.scheme:>16} {r.throughput_kops:>8.1f} "
+              f"{r.mean_latency_us:>11.1f}us "
+              f"{r.server_cpu_utilization * 100:>10.1f}% "
+              f"{r.offload_fraction * 100:>9.1f}%")
+    speedup = catfish.throughput_kops / fm.throughput_kops
+    print(f"\nCatfish speedup over fast messaging: {speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    part1_plain_rtree()
+    part2_catfish_experiment()

@@ -1,0 +1,139 @@
+"""On-chunk byte format for B+tree nodes (parity with the R-tree codec).
+
+Layout (little-endian)::
+
+    header:   flags:u32 (bit0 = leaf)  count:u32  chunk_id:u64
+              next_leaf:i64 (-1 when absent/inner)
+    entries:  count x { key:u64  ref:u64 }   (ref = value | child chunk)
+    inner:    one extra trailing ref (children = count+1 for inner nodes)
+    versions: one u8 per 64-byte cache line (FaRM validation)
+
+Inner nodes store ``count`` separator keys and ``count+1`` child refs;
+leaves store ``count`` key/value pairs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..rtree.serialize import CACHE_LINE
+from .bptree import BNode
+from .service import BNodeSnapshot
+
+HEADER_FORMAT = "<IIQq"
+HEADER_SIZE = struct.calcsize(HEADER_FORMAT)  # 24
+PAIR_SIZE = 16  # key u64 + ref u64
+
+FLAG_LEAF = 0x1
+
+
+def payload_size(capacity: int) -> int:
+    # worst case: inner node with capacity children and capacity-1 keys,
+    # or leaf with capacity pairs; reserve capacity pairs + one extra ref.
+    return HEADER_SIZE + capacity * PAIR_SIZE + 8
+
+
+def version_bytes(capacity: int) -> int:
+    payload = payload_size(capacity)
+    return (payload + CACHE_LINE - 1) // CACHE_LINE
+
+
+def chunk_size(capacity: int) -> int:
+    raw = payload_size(capacity) + version_bytes(capacity)
+    return ((raw + CACHE_LINE - 1) // CACHE_LINE) * CACHE_LINE
+
+
+def pack_bnode(node: BNode, capacity: int) -> bytes:
+    """Serialize a live node into its chunk bytes."""
+    out = bytearray(chunk_size(capacity))
+    if node.is_leaf:
+        count = len(node.keys)
+        if count > capacity:
+            raise ValueError(f"leaf has {count} > {capacity} keys")
+        next_leaf = (node.next_leaf.chunk_id
+                     if node.next_leaf is not None else -1)
+        struct.pack_into(HEADER_FORMAT, out, 0, FLAG_LEAF, count,
+                         node.chunk_id, next_leaf)
+        offset = HEADER_SIZE
+        for key, value in zip(node.keys, node.values):
+            struct.pack_into("<QQ", out, offset, key, value)
+            offset += PAIR_SIZE
+    else:
+        count = len(node.keys)
+        if len(node.children) > capacity:
+            raise ValueError(
+                f"inner has {len(node.children)} > {capacity} children"
+            )
+        struct.pack_into(HEADER_FORMAT, out, 0, 0, count,
+                         node.chunk_id, -1)
+        offset = HEADER_SIZE
+        for key, child in zip(node.keys, node.children):
+            struct.pack_into("<QQ", out, offset, key, child.chunk_id)
+            offset += PAIR_SIZE
+        # trailing child (children = count + 1)
+        struct.pack_into("<Q", out, offset, node.children[-1].chunk_id
+                         if node.children else 0)
+    version = node.version & 0xFF
+    base = payload_size(capacity)
+    for i in range(version_bytes(capacity)):
+        out[base + i] = version
+    return bytes(out)
+
+
+def pack_bnode_torn(node: BNode, capacity: int) -> bytes:
+    """A mid-write image: leading cache lines carry the in-flight stamp."""
+    data = bytearray(pack_bnode(node, capacity))
+    base = payload_size(capacity)
+    n_versions = version_bytes(capacity)
+    new_version = (node.version + 1) & 0xFF
+    for i in range(max(1, n_versions // 2)):
+        data[base + i] = new_version
+    return bytes(data)
+
+
+def garbage_bchunk(capacity: int) -> bytes:
+    """Recycled-memory bytes whose versions can never validate."""
+    data = bytearray(chunk_size(capacity))
+    base = payload_size(capacity)
+    for i in range(version_bytes(capacity)):
+        data[base + i] = i & 0xFF or 1
+    return bytes(data)
+
+
+def snapshot_from_bytes(
+    data: bytes, capacity: int
+) -> Optional[BNodeSnapshot]:
+    """Decode + FaRM-validate chunk bytes into a snapshot (None = retry)."""
+    if len(data) != chunk_size(capacity):
+        return None
+    flags, count, chunk_id, next_leaf = struct.unpack_from(
+        HEADER_FORMAT, data, 0
+    )
+    if count > capacity:
+        return None
+    base = payload_size(capacity)
+    versions = {data[base + i] for i in range(version_bytes(capacity))}
+    if len(versions) > 1:
+        return None  # torn
+    is_leaf = bool(flags & FLAG_LEAF)
+    keys = []
+    refs = []
+    offset = HEADER_SIZE
+    for _ in range(count):
+        key, ref = struct.unpack_from("<QQ", data, offset)
+        keys.append(key)
+        refs.append(ref)
+        offset += PAIR_SIZE
+    if not is_leaf:
+        (tail,) = struct.unpack_from("<Q", data, offset)
+        refs.append(tail)
+    return BNodeSnapshot(
+        chunk_id=chunk_id,
+        is_leaf=is_leaf,
+        keys=tuple(keys),
+        refs=tuple(refs),
+        next_leaf=(next_leaf if is_leaf and next_leaf >= 0 else None),
+        version=next(iter(versions)),
+        torn=False,
+    )

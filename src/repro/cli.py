@@ -1,0 +1,211 @@
+"""Command-line interface: run experiments without writing a script.
+
+Examples::
+
+    python -m repro run --scheme catfish --fabric ib-100g --clients 32
+    python -m repro compare --clients 16 --scale 0.01
+    python -m repro schemes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .client.adaptive import AdaptiveParams
+from .cluster.builder import run_experiment
+from .cluster.config import ExperimentConfig
+from .cluster.results import RunResult
+from .cluster.schemes import SCHEMES
+from .net.fabric import PROFILES
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fabric", default="ib-100g",
+                        choices=sorted(PROFILES),
+                        help="interconnect profile")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="number of simulated clients")
+    parser.add_argument("--requests", type=int, default=100,
+                        help="requests per client")
+    parser.add_argument("--scale", default="0.0001",
+                        help="query scale ('0.01', 'powerlaw', ...)")
+    parser.add_argument("--workload", default="search",
+                        choices=["search", "hybrid"],
+                        help="request mix")
+    parser.add_argument("--dataset-size", type=int, default=20_000,
+                        help="rectangles in the pre-built tree")
+    parser.add_argument("--server-cores", type=int, default=28)
+    parser.add_argument("--heartbeat-ms", type=float, default=0.5,
+                        help="heartbeat interval in milliseconds")
+    parser.add_argument("--adaptive-n", type=int, default=8,
+                        help="Algorithm 1 back-off base N")
+    parser.add_argument("--adaptive-t", type=float, default=0.95,
+                        help="Algorithm 1 busy threshold T")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config_from(args, scheme: str) -> ExperimentConfig:
+    heartbeat = args.heartbeat_ms * 1e-3
+    return ExperimentConfig(
+        scheme=scheme,
+        fabric=args.fabric,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        workload_kind=args.workload,
+        scale=args.scale,
+        dataset_size=args.dataset_size,
+        server_cores=args.server_cores,
+        heartbeat_interval=heartbeat,
+        adaptive=AdaptiveParams(N=args.adaptive_n, T=args.adaptive_t,
+                                Inv=heartbeat),
+        seed=args.seed,
+        collect_timeline=getattr(args, "timeline", False),
+    )
+
+
+def _tcp_compatible(scheme: str, fabric: str) -> bool:
+    needs_rdma = SCHEMES[scheme].transport != "tcp"
+    return PROFILES[fabric].rdma or not needs_rdma
+
+
+def cmd_run(args) -> int:
+    if not _tcp_compatible(args.scheme, args.fabric):
+        print(f"error: scheme {args.scheme!r} needs an RDMA fabric",
+              file=sys.stderr)
+        return 2
+    result = run_experiment(_config_from(args, args.scheme))
+    print(RunResult.header())
+    print(result.row())
+    if getattr(args, "timeline", False):
+        from .viz import render_timeline
+        print()
+        for line in render_timeline(result.timeline):
+            print(line)
+    if args.verbose:
+        print(f"\nelapsed (simulated): {result.elapsed_s * 1e3:.3f} ms")
+        print(f"p50/p99 latency: {result.p50_latency_us:.1f} / "
+              f"{result.p99_latency_us:.1f} us")
+        print(f"torn-read retries: {result.torn_retries}, "
+              f"search restarts: {result.search_restarts}")
+        print(f"heartbeats sent/dropped: {result.heartbeats_sent}/"
+              f"{result.heartbeats_dropped}")
+        print(f"server-side searches/inserts: "
+              f"{result.searches_served_by_server}/{result.inserts_served}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    schemes = args.schemes or [
+        "tcp", "fast-messaging", "rdma-offloading", "catfish",
+    ]
+    print(RunResult.header())
+    for scheme in schemes:
+        if scheme not in SCHEMES:
+            print(f"error: unknown scheme {scheme!r}", file=sys.stderr)
+            return 2
+        fabric = args.fabric
+        if not _tcp_compatible(scheme, fabric):
+            fabric = "ib-100g"
+        if SCHEMES[scheme].transport == "tcp" and PROFILES[fabric].rdma:
+            fabric = "eth-1g"
+        result = run_experiment(_config_from(args, scheme)
+                                if fabric == args.fabric else
+                                _config_with_fabric(args, scheme, fabric))
+        print(result.row())
+    return 0
+
+
+def _config_with_fabric(args, scheme, fabric) -> ExperimentConfig:
+    config = _config_from(args, scheme)
+    config.fabric = fabric
+    return config
+
+
+def cmd_kv(args) -> int:
+    from .cluster.kv_builder import KvExperimentConfig, run_kv_experiment
+    heartbeat = args.heartbeat_ms * 1e-3
+    config = KvExperimentConfig(
+        index=args.index,
+        scheme=args.scheme,
+        n_clients=args.clients,
+        requests_per_client=args.requests,
+        n_keys=args.keys,
+        get_fraction=args.get_fraction,
+        scan_fraction=args.scan_fraction,
+        zipf_s=args.zipf,
+        server_cores=args.server_cores,
+        heartbeat_interval=heartbeat,
+        adaptive=AdaptiveParams(N=args.adaptive_n, T=args.adaptive_t,
+                                Inv=heartbeat),
+        seed=args.seed,
+    )
+    result = run_kv_experiment(config)
+    print(RunResult.header())
+    print(result.row())
+    return 0
+
+
+def cmd_schemes(_args) -> int:
+    print(f"{'scheme':>22} {'transport':>10} {'notify':>8} "
+          f"{'offload':>9} {'multi':>6}")
+    for name in sorted(SCHEMES):
+        spec = SCHEMES[name]
+        print(f"{name:>22} {spec.transport:>10} {spec.notification:>8} "
+              f"{spec.offload:>9} {str(spec.multi_issue):>6}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Catfish (ICDCS'19) reproduction — simulated "
+                    "RDMA R-tree experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("--scheme", default="catfish",
+                       choices=sorted(SCHEMES))
+    p_run.add_argument("--verbose", "-v", action="store_true")
+    p_run.add_argument("--timeline", action="store_true",
+                       help="collect and render a cpu/offload timeline")
+    _add_common_options(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run several schemes")
+    p_cmp.add_argument("--schemes", nargs="*",
+                       help="schemes to compare (default: the paper's four)")
+    _add_common_options(p_cmp)
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_kv = sub.add_parser(
+        "kv", help="run a B+tree / cuckoo experiment (paper §VI)"
+    )
+    p_kv.add_argument("--index", default="btree",
+                      choices=["btree", "cuckoo"])
+    p_kv.add_argument("--scheme", default="catfish",
+                      choices=["fast-messaging", "rdma-offloading",
+                               "catfish", "catfish-bandit"])
+    p_kv.add_argument("--keys", type=int, default=20_000)
+    p_kv.add_argument("--get-fraction", type=float, default=0.9)
+    p_kv.add_argument("--scan-fraction", type=float, default=0.0)
+    p_kv.add_argument("--zipf", type=float, default=0.99,
+                      help="Zipf skew of key popularity")
+    _add_common_options(p_kv)
+    p_kv.set_defaults(func=cmd_kv)
+
+    p_sch = sub.add_parser("schemes", help="list available schemes")
+    p_sch.set_defaults(func=cmd_schemes)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,141 @@
+"""The Catfish adaptive client — Algorithm 1 of the paper.
+
+Each client autonomously decides, per search, between fast messaging and
+RDMA offloading using a binary-exponential-back-off-style rule:
+
+* the server's heartbeat (CPU utilization) lands in the client's
+  ``u_serv`` mailbox at most every ``Inv``;
+* when the predicted utilization exceeds threshold ``T`` (95%), the
+  client offloads its next ``n`` searches, ``n`` drawn uniformly from the
+  current back-off window ``[(r_busy-1)*N, r_busy*N)`` — randomization
+  de-synchronizes the clients so they do not all stampede back to the
+  server at once;
+* consecutive busy observations extend the window without upper bound;
+* **a missing heartbeat means "do not offload"**: the likely cause is a
+  saturated server link, and offloading consumes *more* bandwidth;
+* writes (insert/delete) always use fast messaging.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional
+
+from ..sim.kernel import Simulator
+from .base import ClientStats, Request
+from .fm_client import FmSession
+from .offload_client import OffloadEngine
+
+
+def most_recent_utilization(u_serv: float) -> float:
+    """The paper's default ``predUtil``: use the latest value as-is."""
+    return u_serv
+
+
+@dataclass(frozen=True)
+class AdaptiveParams:
+    """The tunables of Algorithm 1 (paper defaults: N=8, T=95%, Inv=10ms)."""
+
+    N: int = 8
+    T: float = 0.95
+    Inv: float = 10e-3
+
+    def __post_init__(self):
+        if self.N < 1:
+            raise ValueError(f"N must be >= 1, got {self.N}")
+        if not 0.0 < self.T <= 1.0:
+            raise ValueError(f"T must be in (0, 1], got {self.T}")
+        if self.Inv <= 0:
+            raise ValueError(f"Inv must be > 0, got {self.Inv}")
+
+
+class CatfishSession:
+    """Adaptive per-request scheme selection (Algorithm 1)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fm: FmSession,
+        engine: OffloadEngine,
+        stats: ClientStats,
+        params: AdaptiveParams = AdaptiveParams(),
+        rng: Optional[random.Random] = None,
+        pred_util: Callable[[float], float] = most_recent_utilization,
+    ):
+        self.sim = sim
+        self.fm = fm
+        self.engine = engine
+        self.stats = stats
+        self.params = params
+        self.rng = rng or random.Random(0)
+        self.pred_util = pred_util
+        # Algorithm 1 state.
+        self.r_busy = 0
+        self.r_off = 0
+        self._t0 = sim.now
+        # Introspection counters.
+        self.busy_observations = 0
+        self.backoff_extensions = 0
+
+    # -- Algorithm 1 -----------------------------------------------------------
+
+    def _decide(self) -> bool:
+        """One pass of lines 5-23; True means offload this search."""
+        params = self.params
+        utilization = 0.0
+        now = self.sim.now
+        mailbox = self.fm.mailbox
+        # Lines 7-11: only consume a heartbeat if at least Inv elapsed and
+        # one actually arrived (u_serv != 0); otherwise U stays 0, which
+        # deliberately reads as "not busy" when heartbeats are missing.
+        if now - self._t0 > params.Inv and mailbox.value != 0.0:
+            utilization = self.pred_util(mailbox.read_and_clear())
+            self._t0 = now
+        # Lines 12-17: extend or reset the back-off window.
+        if utilization > params.T and self.r_off <= self.r_busy * params.N:
+            self.r_busy += 1
+            self.r_off = (
+                self.rng.randrange(params.N)
+                + (self.r_busy - 1) * params.N
+            )
+            self.busy_observations += 1
+            if self.r_busy > 1:
+                self.backoff_extensions += 1
+        else:
+            self.r_busy = 0
+        # Lines 18-23: drain the offload budget.
+        if self.r_off > 0:
+            self.r_off -= 1
+            return True
+        return False
+
+    # -- request execution ----------------------------------------------------------
+
+    def _is_offloadable(self, request) -> bool:
+        """Only reads may bypass the server (writes need its locks)."""
+        from .base import READ_OPS
+        return request.op in READ_OPS
+
+    def _offload(self, request) -> Generator:
+        """Execute one offloadable request via one-sided reads.
+
+        Subclasses for other link-based structures (B+tree, cuckoo —
+        paper §VI) override this and ``_is_offloadable``; the back-off
+        algorithm itself is structure-agnostic.
+        """
+        from .offload_client import dispatch_read
+        result = yield from dispatch_read(self.engine, request, self.fm)
+        return result
+
+    def execute(self, request: Request) -> Generator:
+        """Run one request, choosing the access method adaptively."""
+        if not self._is_offloadable(request):
+            # Writes always go to the server through the ring buffer.
+            result = yield from self.fm.execute(request)
+            return result
+        if self._decide():
+            result = yield from self._offload(request)
+        else:
+            result = yield from self.fm.execute(request)
+        return result

@@ -1,0 +1,113 @@
+"""A learning mode selector — the paper's "machine learning" future work.
+
+§V-B: when the server stays overloaded, Algorithm 1's heuristic keeps
+bouncing clients back to fast messaging; the paper points at runtime
+learning ("a recent study which uses machine learning methods to select
+the best configuration at the runtime") as the fix.
+
+:class:`BanditSession` is the minimal such learner: an ε-greedy two-armed
+bandit over {fast messaging, RDMA offloading} driven purely by *observed
+per-mode request latency* with exponential forgetting.  It needs no
+heartbeats at all — the reward signal is the client's own latencies — and
+under sustained server saturation it parks on offloading instead of
+probing back, exactly the behaviour the paper found Algorithm 1 lacking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional
+
+from ..sim.kernel import Simulator
+from .base import ClientStats, Request
+
+FAST_MESSAGING = "fm"
+OFFLOADING = "offload"
+
+
+class LatencyEstimate:
+    """EWMA of one arm's latency, optimistic until first observed."""
+
+    def __init__(self, alpha: float):
+        self.alpha = alpha
+        self.value: Optional[float] = None
+        self.observations = 0
+
+    def update(self, sample: float) -> None:
+        self.observations += 1
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value = self.alpha * sample + (1 - self.alpha) * self.value
+
+
+class BanditSession:
+    """ε-greedy latency bandit over the two access methods."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fm,
+        engine,
+        stats: ClientStats,
+        epsilon: float = 0.1,
+        alpha: float = 0.3,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.sim = sim
+        self.fm = fm
+        self.engine = engine
+        self.stats = stats
+        self.epsilon = epsilon
+        self.rng = rng or random.Random(0)
+        self.estimates = {
+            FAST_MESSAGING: LatencyEstimate(alpha),
+            OFFLOADING: LatencyEstimate(alpha),
+        }
+        self.explorations = 0
+        self.mode_counts = {FAST_MESSAGING: 0, OFFLOADING: 0}
+
+    # -- arm selection ----------------------------------------------------------
+
+    def _choose_mode(self) -> str:
+        fm_est = self.estimates[FAST_MESSAGING]
+        off_est = self.estimates[OFFLOADING]
+        # Try each arm once before exploiting.
+        if fm_est.value is None:
+            return FAST_MESSAGING
+        if off_est.value is None:
+            return OFFLOADING
+        if self.rng.random() < self.epsilon:
+            self.explorations += 1
+            return self.rng.choice((FAST_MESSAGING, OFFLOADING))
+        return (FAST_MESSAGING if fm_est.value <= off_est.value
+                else OFFLOADING)
+
+    def _is_offloadable(self, request) -> bool:
+        from .base import READ_OPS
+        return request.op in READ_OPS
+
+    def _offload(self, request) -> Generator:
+        from .offload_client import dispatch_read
+        result = yield from dispatch_read(self.engine, request, self.fm)
+        return result
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, request: Request) -> Generator:
+        if not self._is_offloadable(request):
+            result = yield from self.fm.execute(request)
+            return result
+        mode = self._choose_mode()
+        self.mode_counts[mode] += 1
+        start = self.sim.now
+        if mode == OFFLOADING:
+            result = yield from self._offload(request)
+        else:
+            result = yield from self.fm.execute(request)
+        self.estimates[mode].update(self.sim.now - start)
+        return result

@@ -1,0 +1,126 @@
+"""Fast-messaging client (paper §III-A).
+
+Sends requests with RDMA Write into the server's ring buffer and collects
+CONT/END response segments from its own ring buffer.  A background receiver
+process demultiplexes the response ring: heartbeats go to the ``u_serv``
+mailbox (Algorithm 1), response segments go to the in-flight request.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from ..msg.codec import (
+    CountRequest,
+    DeleteRequest,
+    Heartbeat,
+    InsertRequest,
+    NearestRequest,
+    ResponseSegment,
+    SearchRequest,
+)
+from ..rtree.geometry import Rect
+from ..server.fast_messaging import FmConnection
+from ..sim.kernel import Simulator
+from ..sim.resources import Store
+from .base import (
+    OP_COUNT,
+    OP_DELETE,
+    OP_INSERT,
+    OP_NEAREST,
+    OP_SEARCH,
+    OP_UPDATE,
+    ClientStats,
+    Request,
+    RequestIdAllocator,
+)
+
+
+class FmSession:
+    """One client's fast-messaging endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        conn: FmConnection,
+        client_id: int,
+        stats: ClientStats,
+    ):
+        self.sim = sim
+        self.conn = conn
+        self.stats = stats
+        self._ids = RequestIdAllocator(client_id)
+        self._segments: Store = Store(sim)
+        self.heartbeats_seen = 0
+        sim.process(self._receiver(), name=f"fm-recv-{client_id}")
+
+    @property
+    def mailbox(self):
+        """The ``u_serv`` heartbeat mailbox (used by the adaptive client)."""
+        return self.conn.mailbox
+
+    def _receiver(self) -> Generator:
+        """Continuously drain the response ring, routing by message type."""
+        while True:
+            message = yield self.conn.response_ring.consume()
+            if isinstance(message, Heartbeat):
+                self.conn.mailbox.deliver(message)
+                self.heartbeats_seen += 1
+            elif isinstance(message, ResponseSegment):
+                self._segments.put(message)
+            else:
+                raise TypeError(f"client got unexpected message {message!r}")
+
+    # -- request execution -----------------------------------------------------
+
+    def execute(self, request: Request) -> Generator:
+        """Run one request through fast messaging; returns the results."""
+        self.stats.fast_messaging_requests += 1
+        if request.op == OP_SEARCH:
+            wire = SearchRequest(self._ids.next_id(), request.rect)
+        elif request.op == OP_NEAREST:
+            cx, cy = request.rect.center()
+            wire = NearestRequest(self._ids.next_id(), cx, cy, request.k)
+        elif request.op == OP_COUNT:
+            wire = CountRequest(self._ids.next_id(), request.rect)
+        elif request.op == OP_INSERT:
+            wire = InsertRequest(self._ids.next_id(), request.rect,
+                                 request.data_id)
+        elif request.op == OP_DELETE:
+            wire = DeleteRequest(self._ids.next_id(), request.rect,
+                                 request.data_id)
+        elif request.op == OP_UPDATE:
+            from ..msg.codec import UpdateRequest
+            wire = UpdateRequest(self._ids.next_id(), request.rect,
+                                 request.new_rect, request.data_id)
+        else:  # pragma: no cover - Request validates op
+            raise ValueError(request.op)
+
+        # Ring-buffer flow control, then the actual RDMA Write (w/ IMM in
+        # event mode).  The client continues once the write is acknowledged.
+        yield from self.conn.request_ring.reserve(wire)
+        yield self.conn.client_post_request(wire)
+
+        results: List[Tuple[Rect, int]] = []
+        count: Optional[int] = None
+        while True:
+            segment: ResponseSegment = yield self._segments.get()
+            if segment.req_id != wire.req_id:
+                raise RuntimeError(
+                    f"segment for {segment.req_id} while awaiting "
+                    f"{wire.req_id} (clients are synchronous)"
+                )
+            results.extend(segment.results)
+            if segment.count is not None:
+                count = segment.count
+            if segment.last:
+                break
+        if request.op == OP_COUNT:
+            self.stats.results_received += count or 0
+            return count
+        self.stats.results_received += len(results)
+        return results
+
+    def search(self, rect: Rect) -> Generator:
+        result = yield from self.execute(Request(OP_SEARCH, rect))
+        return result

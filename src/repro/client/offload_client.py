@@ -1,0 +1,323 @@
+"""RDMA offloading: client-side R-tree traversal over one-sided reads.
+
+The paper's second design (§III-B) plus the multi-issue enhancement
+(§IV-C):
+
+* the client fetches the root chunk with an RDMA Read, intersects the
+  query against the node's MBRs, and recursively fetches every
+  intersecting child — the server CPU is never involved;
+* **single-issue** (the FaRM-style baseline) fetches one node per RTT;
+* **multi-issue** (Catfish) posts RDMA Reads for *all* intersecting
+  children at once, pipelining the RTTs on the NICs and the wire, and
+  starts checking whichever node returns first;
+* every fetched node is validated with the version mechanism; a torn
+  snapshot is re-read.  A node whose level does not match its parent's
+  expectation reveals a stale root (the root split since the client cached
+  it), which triggers a meta refresh and a search restart.
+
+Writes are *never* offloaded: insert/delete always travel the fast
+messaging path so the server's lock manager serializes them (§III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from ..rtree.geometry import Rect
+from ..rtree.serialize import NodeView, view_from_bytes
+from ..rtree.versioning import validate_snapshot
+from ..server.base import OffloadDescriptor, TreeMeta
+from ..server.costs import CostModel
+from ..sim.kernel import Simulator
+from ..sim.resources import Store
+from ..transport.rdma import QpEndpoint
+from .base import OP_SEARCH, ClientStats, Request
+from .fm_client import FmSession
+
+#: Bytes of a meta read (root pointer + height).
+META_READ_SIZE = 16
+
+
+class OffloadError(Exception):
+    """A search could not complete after the configured restarts."""
+
+
+class OffloadEngine:
+    """One-sided tree traversal with retry/restart handling."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        qp: QpEndpoint,
+        descriptor: OffloadDescriptor,
+        costs: CostModel,
+        stats: ClientStats,
+        multi_issue: bool = True,
+        max_read_retries: int = 8,
+        max_search_restarts: int = 8,
+        retry_backoff: float = 1e-6,
+    ):
+        self.sim = sim
+        self.qp = qp
+        self.desc = descriptor
+        self.costs = costs
+        self.stats = stats
+        self.multi_issue = multi_issue
+        self.max_read_retries = max_read_retries
+        self.max_search_restarts = max_search_restarts
+        self.retry_backoff = retry_backoff
+        self._cached_root: Optional[int] = None
+        self._cached_height: Optional[int] = None
+        self.meta_reads = 0
+        self.stale_root_detections = 0
+        self.chunks_fetched = 0
+
+    # -- low-level reads -----------------------------------------------------
+
+    def _chunk_address(self, chunk_id: int) -> int:
+        return self.desc.tree_base + chunk_id * self.desc.chunk_bytes
+
+    def _read_meta(self) -> Generator:
+        """Fetch the root pointer from the server's meta region."""
+        meta: TreeMeta = yield self.qp.post_read(
+            self.desc.meta_rkey, self.desc.meta_base, META_READ_SIZE
+        )
+        self.meta_reads += 1
+        return meta
+
+    def _apply_meta(self, meta: TreeMeta) -> bool:
+        """Update the root cache; True if the cached root was stale."""
+        stale = (
+            meta.root_chunk != self._cached_root
+            or meta.height != self._cached_height
+        )
+        if stale and self._cached_root is not None:
+            self.stale_root_detections += 1
+        self._cached_root = meta.root_chunk
+        self._cached_height = meta.height
+        return stale
+
+    def _read_valid(
+        self, chunk_id: int, expected_level: int
+    ) -> Generator:
+        """Fetch one chunk, re-reading torn snapshots; None on failure.
+
+        The server serves either :class:`NodeView` snapshots (fast path)
+        or raw chunk bytes (full-fidelity byte mode); the byte path runs
+        the real decode + per-cache-line version comparison.
+        """
+        for attempt in range(self.max_read_retries):
+            data = yield self.qp.post_read(
+                self.desc.tree_rkey,
+                self._chunk_address(chunk_id),
+                self.desc.chunk_bytes,
+            )
+            self.chunks_fetched += 1
+            if isinstance(data, (bytes, bytearray)):
+                view = view_from_bytes(data, self.desc.max_entries)
+                ok = view is not None
+            else:
+                view = data
+                ok = validate_snapshot(view)
+            if ok and view.level == expected_level:
+                return view
+            self.stats.torn_retries += 1
+            yield self.sim.timeout(self.retry_backoff * (attempt + 1))
+        return None
+
+    # -- search ------------------------------------------------------------------
+
+    def search(self, query: Rect) -> Generator:
+        """Traverse the tree one-sidedly; returns [(rect, data_id), ...].
+
+        Every search validates the cached root pointer against the meta
+        region: a root split would otherwise leave the old root looking
+        perfectly valid (same chunk, same level) while missing the new
+        sibling's subtree.  Multi-issue overlaps the meta read with the
+        optimistic root read, so validation costs no extra round trip;
+        single-issue (the baseline) pays it sequentially — one more of the
+        "multiple RTTs" the paper attributes to offloading.
+        """
+        self.stats.offloaded_requests += 1
+        for _restart in range(self.max_search_restarts):
+            if self.multi_issue:
+                matches = yield from self._search_multi_issue(query)
+            else:
+                matches = yield from self._search_single_issue(query)
+            if matches is not None:
+                self.stats.results_received += len(matches)
+                return matches
+            # Stale root or persistent torn reads: retraverse.
+            self.stats.search_restarts += 1
+        raise OffloadError(
+            f"search did not complete after {self.max_search_restarts} restarts"
+        )
+
+    def count(self, query: Rect) -> Generator:
+        """Aggregate-only offloaded search: traverse, count, ship nothing
+        beyond the chunks themselves."""
+        matches = yield from self.search(query)
+        return len(matches)
+
+    def nearest(self, x: float, y: float, k: int = 1) -> Generator:
+        """Offloaded kNN: best-first branch-and-bound over one-sided reads.
+
+        Inherently sequential (the next chunk to fetch depends on the
+        heap top), so each expansion costs a round trip — kNN is the
+        worst case for offloading and the best case for fast messaging,
+        which the adaptive client will discover via its latencies.
+        """
+        import heapq
+        import itertools as _it
+
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.stats.offloaded_requests += 1
+        for _restart in range(self.max_search_restarts):
+            meta = yield from self._read_meta()
+            self._apply_meta(meta)
+            counter = _it.count()
+            heap = [(0.0, next(counter), "chunk",
+                     (self._cached_root, self._cached_height - 1))]
+            matches: List[Tuple[Rect, int]] = []
+            failed = False
+            while heap and len(matches) < k:
+                _dist, _seq, kind, payload = heapq.heappop(heap)
+                if kind == "entry":
+                    matches.append(payload)
+                    continue
+                chunk_id, level = payload
+                view = yield from self._read_valid(chunk_id, level)
+                if view is None:
+                    failed = True
+                    break
+                yield self.sim.timeout(self._check_cost())
+                for rect, ref in view.entries:
+                    dist = rect.min_dist2_point(x, y)
+                    if view.is_leaf:
+                        heapq.heappush(heap, (dist, next(counter), "entry",
+                                              (rect, ref)))
+                    else:
+                        heapq.heappush(heap, (dist, next(counter), "chunk",
+                                              (ref, level - 1)))
+            if not failed:
+                self.stats.results_received += len(matches)
+                return matches
+            self.stats.search_restarts += 1
+        raise OffloadError(
+            f"nearest() did not complete after {self.max_search_restarts} "
+            f"restarts"
+        )
+
+    def _check_cost(self) -> float:
+        return self.costs.client_node_check
+
+    def _search_single_issue(self, query: Rect) -> Generator:
+        """Baseline traversal: one outstanding RDMA Read at a time."""
+        meta = yield from self._read_meta()
+        self._apply_meta(meta)
+        matches: List[Tuple[Rect, int]] = []
+        stack = [(self._cached_root, self._cached_height - 1)]
+        while stack:
+            chunk_id, level = stack.pop()
+            view = yield from self._read_valid(chunk_id, level)
+            if view is None:
+                return None
+            yield self.sim.timeout(self._check_cost())
+            if view.is_leaf:
+                matches.extend(
+                    (rect, ref) for rect, ref in view.entries
+                    if rect.intersects(query)
+                )
+            else:
+                for ref in view.intersecting_refs(query):
+                    stack.append((ref, level - 1))
+        return matches
+
+    def _search_multi_issue(self, query: Rect) -> Generator:
+        """Catfish traversal: fetch all intersecting children at once.
+
+        The meta read flies together with the optimistic root read; if it
+        reveals a root change the attempt is abandoned and restarted from
+        the fresh root.
+        """
+        if self._cached_root is None:
+            meta = yield from self._read_meta()
+            self._apply_meta(meta)
+
+        matches: List[Tuple[Rect, int]] = []
+        arrived: Store = Store(self.sim)
+        inflight = 0
+        failed = False
+
+        def fetch(chunk_id: int, level: int) -> Generator:
+            view = yield from self._read_valid(chunk_id, level)
+            arrived.put(("node", view))
+
+        def fetch_meta() -> Generator:
+            meta = yield from self._read_meta()
+            arrived.put(("meta", meta))
+
+        def issue(chunk_id: int, level: int) -> None:
+            nonlocal inflight
+            inflight += 1
+            self.sim.process(fetch(chunk_id, level), name="multi-issue-read")
+
+        inflight += 1
+        self.sim.process(fetch_meta(), name="multi-issue-meta")
+        issue(self._cached_root, self._cached_height - 1)
+        while inflight:
+            kind, payload = yield arrived.get()
+            inflight -= 1
+            if kind == "meta":
+                if self._apply_meta(payload):
+                    failed = True  # traversal began at a stale root
+                continue
+            view = payload
+            if view is None:
+                failed = True
+                continue  # drain remaining in-flight reads
+            if failed:
+                continue
+            yield self.sim.timeout(self._check_cost())
+            if view.is_leaf:
+                matches.extend(
+                    (rect, ref) for rect, ref in view.entries
+                    if rect.intersects(query)
+                )
+            else:
+                for ref in view.intersecting_refs(query):
+                    issue(ref, view.level - 1)
+        return None if failed else matches
+
+
+class OffloadSession:
+    """The paper's "RDMA offloading" scheme: one-sided reads, ring-buffer
+    writes."""
+
+    def __init__(self, engine: OffloadEngine, fm: FmSession,
+                 stats: ClientStats):
+        self.engine = engine
+        self.fm = fm
+        self.stats = stats
+
+    def execute(self, request: Request) -> Generator:
+        result = yield from dispatch_read(self.engine, request, self.fm)
+        return result
+
+
+def dispatch_read(engine: OffloadEngine, request: Request, fm) -> Generator:
+    """Route a request to the right one-sided operation (or to fast
+    messaging for writes).  Shared by the offload and adaptive sessions."""
+    from .base import OP_COUNT, OP_NEAREST
+
+    if request.op == OP_SEARCH:
+        result = yield from engine.search(request.rect)
+    elif request.op == OP_COUNT:
+        result = yield from engine.count(request.rect)
+    elif request.op == OP_NEAREST:
+        cx, cy = request.rect.center()
+        result = yield from engine.nearest(cx, cy, request.k)
+    else:
+        result = yield from fm.execute(request)
+    return result

@@ -1,0 +1,79 @@
+"""TCP/IP client session — the paper's socket baseline."""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from ..msg.codec import (
+    CountRequest,
+    DeleteRequest,
+    InsertRequest,
+    NearestRequest,
+    SearchRequest,
+    message_size,
+)
+from ..rtree.geometry import Rect
+from ..sim.kernel import Simulator
+from ..transport.tcp import TcpConnection
+from .base import (
+    OP_COUNT,
+    OP_DELETE,
+    OP_INSERT,
+    OP_NEAREST,
+    OP_SEARCH,
+    ClientStats,
+    Request,
+    RequestIdAllocator,
+)
+
+
+class TcpSession:
+    """Synchronous request/response over one TCP connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        conn: TcpConnection,
+        client_id: int,
+        stats: ClientStats,
+    ):
+        self.sim = sim
+        self.conn = conn
+        self.stats = stats
+        self._ids = RequestIdAllocator(client_id)
+
+    def execute(self, request: Request) -> Generator:
+        """Run one request; returns the matches (searches) or ack (writes)."""
+        self.stats.fast_messaging_requests += 1  # server-side execution
+        if request.op == OP_SEARCH:
+            wire = SearchRequest(self._ids.next_id(), request.rect)
+        elif request.op == OP_NEAREST:
+            cx, cy = request.rect.center()
+            wire = NearestRequest(self._ids.next_id(), cx, cy, request.k)
+        elif request.op == OP_COUNT:
+            wire = CountRequest(self._ids.next_id(), request.rect)
+        elif request.op == OP_INSERT:
+            wire = InsertRequest(self._ids.next_id(), request.rect,
+                                 request.data_id)
+        elif request.op == OP_DELETE:
+            wire = DeleteRequest(self._ids.next_id(), request.rect,
+                                 request.data_id)
+        elif request.op == "update":
+            from ..msg.codec import UpdateRequest
+            wire = UpdateRequest(self._ids.next_id(), request.rect,
+                                 request.new_rect, request.data_id)
+        else:  # pragma: no cover - Request validates op
+            raise ValueError(request.op)
+        yield from self.conn.client_send(wire, message_size(wire))
+        message = yield self.conn.client_recv()
+        response = message.payload
+        if response.req_id != wire.req_id:
+            raise RuntimeError(
+                f"response for {response.req_id} while awaiting {wire.req_id}"
+            )
+        if request.op == OP_COUNT:
+            self.stats.results_received += response.count or 0
+            return response.count
+        results: List[Tuple[Rect, int]] = list(response.results)
+        self.stats.results_received += len(results)
+        return results

@@ -1,0 +1,282 @@
+"""Assemble and run one experiment: server + N clients + fabric.
+
+This is the reproduction's equivalent of the paper's test driver: it
+builds the R-tree server on the chosen fabric, connects ``n_clients``
+independent clients running the chosen scheme, lets every client issue its
+request stream back-to-back (each client is synchronous, as in the paper),
+and aggregates throughput/latency/utilization into a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..client.adaptive import CatfishSession
+from ..client.bandit import BanditSession
+from ..client.base import OP_SEARCH, ClientStats, Request
+from ..client.fm_client import FmSession
+from ..client.offload_client import OffloadEngine, OffloadSession
+from ..client.predictors import make_predictor
+from ..client.tcp_client import TcpSession
+from ..hw.cpu import SchedulerModel
+from ..hw.host import Host
+from ..net.fabric import Network, profile_by_name
+from ..server.base import RTreeServer
+from ..server.fast_messaging import FastMessagingServer
+from ..server.heartbeat import HeartbeatService
+from ..server.tcp_server import TcpRTreeServer
+from ..sim.kernel import Simulator, all_of
+from ..sim.rng import RngRegistry
+from ..transport.tcp import TcpConnection
+from ..workloads.datasets import uniform_dataset
+from ..workloads.mixes import make_workload
+from .config import ExperimentConfig
+from .results import RunResult, merge_client_stats
+from .schemes import (
+    OFFLOAD_ADAPTIVE,
+    OFFLOAD_ALWAYS,
+    TRANSPORT_TCP,
+    scheme_spec,
+)
+
+
+def _client_driver(
+    sim: Simulator,
+    session,
+    requests: List[Request],
+    stats: ClientStats,
+) -> Generator:
+    """One synchronous client: issue every request back-to-back."""
+    for request in requests:
+        start = sim.now
+        yield from session.execute(request)
+        elapsed = sim.now - start
+        stats.requests_sent += 1
+        stats.latency.record(elapsed)
+        if request.op == OP_SEARCH:
+            stats.search_latency.record(elapsed)
+
+
+class ExperimentRunner:
+    """Builds the cluster for a config and runs it to completion."""
+
+    def __init__(self, config: ExperimentConfig):
+        self.config = config
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        self.spec = scheme_spec(config.scheme)
+        self.profile = profile_by_name(config.fabric)
+        if self.spec.transport != TRANSPORT_TCP and not self.profile.rdma:
+            raise ValueError(
+                f"scheme {config.scheme!r} needs an RDMA fabric, "
+                f"got {config.fabric!r}"
+            )
+
+        self.network = Network(self.sim, self.profile)
+        self.server_host = Host(
+            self.sim,
+            "server",
+            self.profile,
+            cores=config.server_cores,
+            scheduler=SchedulerModel(
+                config.server_cores, rng=self.rngs.stream("scheduler")
+            ),
+        )
+        self.network.attach_server(self.server_host)
+
+        items = config.dataset
+        if items is None:
+            items = uniform_dataset(config.dataset_size, seed=config.seed)
+        self.server = RTreeServer(
+            self.sim,
+            self.server_host,
+            items,
+            max_entries=config.max_entries,
+            costs=config.costs,
+            byte_mode=config.byte_mode,
+        )
+
+        self.tcp_server = None
+        self.fm_server = None
+        self.heartbeats = None
+        if self.spec.transport == TRANSPORT_TCP:
+            self.tcp_server = TcpRTreeServer(self.sim, self.server)
+        else:
+            self.fm_server = FastMessagingServer(
+                self.sim,
+                self.server,
+                self.network,
+                mode=self.spec.notification,
+            )
+            if self.spec.heartbeats:
+                self.heartbeats = HeartbeatService(
+                    self.sim,
+                    self.server_host.cpu.window_utilization,
+                    interval=config.heartbeat_interval,
+                )
+
+        self.client_stats: List[ClientStats] = []
+        self.sessions = []
+        self._drivers = []
+        self._timeline: List[tuple] = []
+        self._build_clients()
+        if self.heartbeats is not None:
+            self.heartbeats.start()
+        if config.collect_timeline:
+            self.sim.process(self._timeline_sampler(), name="timeline")
+
+    def _timeline_sampler(self) -> Generator:
+        """Sample (t, cpu_util, window offload fraction) periodically."""
+        interval = self.config.heartbeat_interval
+        prev_offload = prev_total = 0
+        while any(d.is_alive for d in self._drivers):
+            yield self.sim.timeout(interval)
+            offload = sum(s.offloaded_requests for s in self.client_stats)
+            total = sum(
+                s.offloaded_requests + s.fast_messaging_requests
+                for s in self.client_stats
+            )
+            window_total = total - prev_total
+            window_offload = offload - prev_offload
+            fraction = (window_offload / window_total
+                        if window_total else 0.0)
+            self._timeline.append(
+                (self.sim.now,
+                 self.server_host.cpu.tracker.window_utilization(reset=False),
+                 fraction)
+            )
+            prev_offload, prev_total = offload, total
+
+    # -- construction ----------------------------------------------------------
+
+    def _build_clients(self) -> None:
+        config = self.config
+        workload_fn = make_workload(
+            config.workload_kind,
+            scale_spec=config.scale,
+            n_requests=config.requests_per_client,
+            insert_fraction=config.insert_fraction,
+            queries=config.queries,
+        )
+        for client_id in range(config.n_clients):
+            host = Host(
+                self.sim,
+                f"client-{client_id}",
+                self.profile,
+                cores=config.client_cores,
+            )
+            stats = ClientStats()
+            session = self._build_session(client_id, host, stats)
+            rng = self.rngs.fork(f"client-{client_id}").stream("workload")
+            requests = workload_fn(client_id, rng)
+            driver = self.sim.process(
+                _client_driver(self.sim, session, requests, stats),
+                name=f"client-{client_id}",
+            )
+            self.client_stats.append(stats)
+            self.sessions.append(session)
+            self._drivers.append(driver)
+
+    def _build_session(self, client_id: int, host: Host, stats: ClientStats):
+        if self.spec.transport == TRANSPORT_TCP:
+            conn = TcpConnection(
+                self.sim, self.network, host, self.server_host,
+                name=f"tcp-{client_id}",
+            )
+            self.tcp_server.accept(conn)
+            return TcpSession(self.sim, conn, client_id, stats)
+
+        conn = self.fm_server.open_connection(host)
+        fm = FmSession(self.sim, conn, client_id, stats)
+        if self.heartbeats is not None:
+            self.heartbeats.subscribe(
+                conn.response_ring,
+                lambda hb, c=conn: c.server_post_response(hb),
+            )
+        if self.spec.offload == "never":
+            return fm
+        engine = OffloadEngine(
+            self.sim,
+            conn.client_end,
+            self.server.offload_descriptor(),
+            self.config.costs,
+            stats,
+            multi_issue=self.spec.multi_issue,
+        )
+        if self.spec.offload == OFFLOAD_ALWAYS:
+            return OffloadSession(engine, fm, stats)
+        if self.spec.offload == OFFLOAD_ADAPTIVE:
+            return CatfishSession(
+                self.sim,
+                fm,
+                engine,
+                stats,
+                params=self.config.adaptive,
+                rng=self.rngs.fork(f"client-{client_id}").stream("backoff"),
+                pred_util=make_predictor(self.spec.predictor),
+            )
+        if self.spec.offload == "bandit":
+            return BanditSession(
+                self.sim,
+                fm,
+                engine,
+                stats,
+                rng=self.rngs.fork(f"client-{client_id}").stream("bandit"),
+            )
+        raise ValueError(f"unknown offload mode {self.spec.offload!r}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run until every client finished its request stream."""
+        done = all_of(self.sim, self._drivers)
+        self.sim.run_until_triggered(done)
+        return self._collect()
+
+    def _collect(self) -> RunResult:
+        config = self.config
+        elapsed = self.sim.now
+        merged = merge_client_stats(self.client_stats)
+        total = merged.requests_sent
+        throughput_kops = (total / elapsed / 1e3) if elapsed > 0 else 0.0
+        to_us = 1e6
+        result = RunResult(
+            scheme=config.scheme,
+            fabric=config.fabric,
+            n_clients=config.n_clients,
+            total_requests=total,
+            elapsed_s=elapsed,
+            throughput_kops=throughput_kops,
+            mean_latency_us=merged.latency.mean * to_us,
+            p50_latency_us=merged.latency.percentile(50) * to_us,
+            p99_latency_us=merged.latency.percentile(99) * to_us,
+            mean_search_latency_us=(
+                merged.search_latency.mean * to_us
+                if merged.search_latency.count
+                else float("nan")
+            ),
+            server_cpu_utilization=self.server_host.cpu.utilization(),
+            server_bandwidth_gbps=self.network.server_bandwidth_gbps(),
+            server_bandwidth_utilization=(
+                self.network.server_bandwidth_gbps() * 1e9
+                / self.profile.bandwidth_bps
+            ),
+            offload_fraction=merged.offload_fraction,
+            torn_retries=merged.torn_retries,
+            search_restarts=merged.search_restarts,
+            heartbeats_sent=(
+                self.heartbeats.beats_sent if self.heartbeats else 0
+            ),
+            heartbeats_dropped=(
+                self.heartbeats.beats_dropped if self.heartbeats else 0
+            ),
+            searches_served_by_server=self.server.searches_served,
+            inserts_served=self.server.inserts_served,
+            timeline=list(self._timeline),
+        )
+        return result
+
+
+def run_experiment(config: ExperimentConfig) -> RunResult:
+    """Convenience wrapper: build, run, collect."""
+    return ExperimentRunner(config).run()

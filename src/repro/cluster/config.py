@@ -1,0 +1,72 @@
+"""Experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..client.adaptive import AdaptiveParams
+from ..rtree.geometry import Rect
+from ..rtree.node import DEFAULT_MAX_ENTRIES
+from ..server.costs import DEFAULT_COSTS, CostModel
+from ..server.heartbeat import DEFAULT_HEARTBEAT_INTERVAL
+
+
+@dataclass
+class ExperimentConfig:
+    """Everything needed to run one point of a paper figure."""
+
+    scheme: str = "catfish"
+    fabric: str = "ib-100g"
+    n_clients: int = 8
+    requests_per_client: int = 100
+
+    # Workload.
+    workload_kind: str = "search"  # search | hybrid | churn | queries
+    scale: str = "0.00001"         # "0.00001" | "0.01" | "powerlaw"
+    insert_fraction: float = 0.1
+    queries: Sequence[Rect] = ()
+
+    # Dataset / tree.
+    dataset_size: int = 50_000
+    dataset: Optional[List[Tuple[Rect, int]]] = None
+    max_entries: int = DEFAULT_MAX_ENTRIES
+    #: Serve one-sided reads as real packed chunk bytes (full-fidelity
+    #: FaRM validation on the client; slower to simulate).
+    byte_mode: bool = False
+
+    # Hardware / costs.
+    server_cores: int = 28
+    client_cores: int = 2
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+
+    # Adaptive parameters (paper: N=8, T=95%, Inv=10ms).  When left None,
+    # the client-side Inv is derived from ``heartbeat_interval`` so that
+    # shortening the heartbeat automatically shortens the clients' reading
+    # cadence (they are "agreed when the connection is established", §IV-A).
+    adaptive: Optional[AdaptiveParams] = None
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+
+    seed: int = 0
+
+    #: When True, the runner samples (time, cpu_util, offload_fraction)
+    #: every heartbeat interval into ``RunResult.timeline``.
+    collect_timeline: bool = False
+
+    def __post_init__(self):
+        if self.n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {self.n_clients}")
+        if self.requests_per_client < 1:
+            raise ValueError(
+                f"requests_per_client must be >= 1, got "
+                f"{self.requests_per_client}"
+            )
+        if self.workload_kind not in ("search", "hybrid", "churn",
+                                      "hybrid-skewed", "queries"):
+            raise ValueError(f"unknown workload {self.workload_kind!r}")
+        if self.adaptive is None:
+            self.adaptive = AdaptiveParams(Inv=self.heartbeat_interval)
+
+    @property
+    def total_requests(self) -> int:
+        return self.n_clients * self.requests_per_client

@@ -1,0 +1,138 @@
+"""The access-scheme registry: the five lines of every paper figure.
+
+Baselines (paper §V): the TCP/IP socket solution on two Ethernet fabrics,
+and FaRM-style "Fast messaging" / "RDMA offloading".  "Catfish" adds the
+event-driven server, multi-issue offloading and the adaptive algorithm.
+Ablation variants isolate each optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+TRANSPORT_TCP = "tcp"
+TRANSPORT_RDMA = "rdma"
+
+OFFLOAD_NEVER = "never"
+OFFLOAD_ALWAYS = "always"
+OFFLOAD_ADAPTIVE = "adaptive"
+OFFLOAD_BANDIT = "bandit"
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """How one scheme composes transports and client behaviour."""
+
+    name: str
+    transport: str
+    #: Server notification: "polling" or "event" (ignored for TCP).
+    notification: str = "polling"
+    offload: str = OFFLOAD_NEVER
+    multi_issue: bool = False
+    #: Whether the server broadcasts heartbeats (only useful to adaptive
+    #: clients, but harmless otherwise).
+    heartbeats: bool = False
+    #: predUtil variant for adaptive clients: "latest" (the paper's),
+    #: "ewma" or "trend" (the §VI future-work predictors).
+    predictor: str = "latest"
+
+
+SCHEMES = {
+    # The socket baselines; fabric (1G/40G) is chosen separately.
+    "tcp": SchemeSpec(
+        name="tcp",
+        transport=TRANSPORT_TCP,
+    ),
+    # FaRM fast messaging: RDMA Write + per-connection polling threads.
+    "fast-messaging": SchemeSpec(
+        name="fast-messaging",
+        transport=TRANSPORT_RDMA,
+        notification="polling",
+        offload=OFFLOAD_NEVER,
+    ),
+    # FaRM offloading: every search is a one-at-a-time one-sided traversal.
+    "rdma-offloading": SchemeSpec(
+        name="rdma-offloading",
+        transport=TRANSPORT_RDMA,
+        notification="polling",
+        offload=OFFLOAD_ALWAYS,
+        multi_issue=False,
+    ),
+    # The full system: event-driven server, adaptive clients, multi-issue.
+    "catfish": SchemeSpec(
+        name="catfish",
+        transport=TRANSPORT_RDMA,
+        notification="event",
+        offload=OFFLOAD_ADAPTIVE,
+        multi_issue=True,
+        heartbeats=True,
+    ),
+    # -- ablation variants ------------------------------------------------
+    "fast-messaging-event": SchemeSpec(
+        name="fast-messaging-event",
+        transport=TRANSPORT_RDMA,
+        notification="event",
+        offload=OFFLOAD_NEVER,
+    ),
+    "rdma-offloading-multi": SchemeSpec(
+        name="rdma-offloading-multi",
+        transport=TRANSPORT_RDMA,
+        notification="polling",
+        offload=OFFLOAD_ALWAYS,
+        multi_issue=True,
+    ),
+    "catfish-polling": SchemeSpec(
+        name="catfish-polling",
+        transport=TRANSPORT_RDMA,
+        notification="polling",
+        offload=OFFLOAD_ADAPTIVE,
+        multi_issue=True,
+        heartbeats=True,
+    ),
+    "catfish-single-issue": SchemeSpec(
+        name="catfish-single-issue",
+        transport=TRANSPORT_RDMA,
+        notification="event",
+        offload=OFFLOAD_ADAPTIVE,
+        multi_issue=False,
+        heartbeats=True,
+    ),
+    # -- future-work variants (paper §VI / §V-B) ----------------------------
+    "catfish-ewma": SchemeSpec(
+        name="catfish-ewma",
+        transport=TRANSPORT_RDMA,
+        notification="event",
+        offload=OFFLOAD_ADAPTIVE,
+        multi_issue=True,
+        heartbeats=True,
+        predictor="ewma",
+    ),
+    "catfish-trend": SchemeSpec(
+        name="catfish-trend",
+        transport=TRANSPORT_RDMA,
+        notification="event",
+        offload=OFFLOAD_ADAPTIVE,
+        multi_issue=True,
+        heartbeats=True,
+        predictor="trend",
+    ),
+    # Latency bandit: learns the mode from its own observed latencies; no
+    # heartbeats required.
+    "catfish-bandit": SchemeSpec(
+        name="catfish-bandit",
+        transport=TRANSPORT_RDMA,
+        notification="event",
+        offload=OFFLOAD_BANDIT,
+        multi_issue=True,
+        heartbeats=False,
+    ),
+}
+
+
+def scheme_spec(name: str) -> SchemeSpec:
+    try:
+        return SCHEMES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scheme {name!r}; known: {sorted(SCHEMES)}"
+        ) from None

@@ -1,0 +1,28 @@
+"""Hardware models: cores, OS scheduler, NIC, registered memory."""
+
+from .cpu import (
+    DEFAULT_QUANTUM,
+    EVENT_WAKEUP_COST,
+    POLL_GRANULARITY,
+    CorePool,
+    SchedulerModel,
+)
+from .host import SERVER_CORES, Host
+from .memory import ChunkAllocator, MemoryRegion, MemoryRegistry, MemoryError_
+from .nic import DEFAULT_MAX_OUTSTANDING_READS, Nic
+
+__all__ = [
+    "DEFAULT_QUANTUM",
+    "EVENT_WAKEUP_COST",
+    "POLL_GRANULARITY",
+    "CorePool",
+    "SchedulerModel",
+    "SERVER_CORES",
+    "Host",
+    "ChunkAllocator",
+    "MemoryRegion",
+    "MemoryRegistry",
+    "MemoryError_",
+    "DEFAULT_MAX_OUTSTANDING_READS",
+    "Nic",
+]

@@ -1,0 +1,39 @@
+"""A compute node: cores + NIC + registered memory.
+
+The paper's testbed nodes are dual-socket 14-core Broadwells; the server
+uses all 28 cores, client processes are lightweight.
+"""
+
+from __future__ import annotations
+
+from ..net.fabric import FabricProfile
+from ..sim.kernel import Simulator
+from .cpu import CorePool, SchedulerModel
+from .memory import MemoryRegistry
+from .nic import Nic
+
+#: Cores on the paper's server node (2 x 14-core Xeon E5-2680 v4).
+SERVER_CORES = 28
+
+
+class Host:
+    """One simulated machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        profile: FabricProfile,
+        cores: int = SERVER_CORES,
+        scheduler: SchedulerModel = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        self.cpu = CorePool(sim, capacity=cores, name=f"{name}.cpu")
+        self.nic = Nic(sim, profile, name=f"{name}.nic")
+        self.memory = MemoryRegistry()
+        self.scheduler = scheduler or SchedulerModel(cores)
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name} cores={self.cpu.capacity}>"

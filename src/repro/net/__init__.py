@@ -1,0 +1,42 @@
+"""Network models: links, wire formats, fabric profiles, topology."""
+
+from .fabric import (
+    ETH_1G,
+    ETH_40G,
+    IB_100G,
+    PROFILES,
+    FabricProfile,
+    Network,
+    profile_by_name,
+)
+from .link import DuplexLink, Link
+from .wire import (
+    IB_ACK_SIZE,
+    IB_MTU,
+    IB_PACKET_OVERHEAD,
+    IB_READ_REQUEST_SIZE,
+    TCP_MSS,
+    TCP_SEGMENT_OVERHEAD,
+    ib_wire_size,
+    tcp_wire_size,
+)
+
+__all__ = [
+    "ETH_1G",
+    "ETH_40G",
+    "IB_100G",
+    "PROFILES",
+    "FabricProfile",
+    "Network",
+    "profile_by_name",
+    "DuplexLink",
+    "Link",
+    "IB_ACK_SIZE",
+    "IB_MTU",
+    "IB_PACKET_OVERHEAD",
+    "IB_READ_REQUEST_SIZE",
+    "TCP_MSS",
+    "TCP_SEGMENT_OVERHEAD",
+    "ib_wire_size",
+    "tcp_wire_size",
+]

@@ -1,0 +1,92 @@
+"""Point-to-point link model: FIFO serialization + propagation delay.
+
+A :class:`Link` is unidirectional.  Transmitting ``n`` bytes first waits for
+the transmitter (FIFO — this is where bandwidth saturation and queueing
+delay come from), holds it for ``n / bandwidth`` seconds, then the message
+propagates for ``latency`` seconds without occupying the transmitter (so
+back-to-back messages pipeline, as on a real wire).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim.kernel import Simulator
+from ..sim.monitor import ByteCounter
+from ..sim.resources import Resource
+
+
+class Link:
+    """A unidirectional link with finite bandwidth and fixed latency."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        latency_s: float,
+        name: str = "link",
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {bandwidth_bps}")
+        if latency_s < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_s}")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.latency_s = latency_s
+        self._tx = Resource(sim, capacity=1)
+        self.counter = ByteCounter(sim)
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_bps / 8.0
+
+    def serialization_delay(self, nbytes: int) -> float:
+        """Time the transmitter is held for ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative size {nbytes}")
+        return nbytes / self.bytes_per_second
+
+    def transfer(self, nbytes: int) -> Generator:
+        """Process generator: completes when the last byte has arrived."""
+        with self._tx.request() as req:
+            yield req
+            yield self.sim.timeout(self.serialization_delay(nbytes))
+            self.counter.record(nbytes)
+        # Propagation overlaps with the next sender's serialization.
+        yield self.sim.timeout(self.latency_s)
+
+    @property
+    def queue_length(self) -> int:
+        """Messages waiting for the transmitter (congestion signal)."""
+        return self._tx.queue_length
+
+    def utilization(self) -> float:
+        """Average offered load since t=0 as a fraction of capacity."""
+        if self.sim.now <= 0:
+            return 0.0
+        return (
+            self.counter.total_bytes / self.bytes_per_second
+        ) / self.sim.now
+
+    def window_bandwidth_bps(self, reset: bool = True) -> float:
+        """Average bits/second over the last measurement window."""
+        return self.counter.window_bandwidth(reset=reset) * 8.0
+
+
+class DuplexLink:
+    """A pair of opposite unidirectional links (one host's access link)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bps: float,
+        latency_s: float,
+        name: str = "duplex",
+    ):
+        self.tx = Link(sim, bandwidth_bps, latency_s, name=f"{name}.tx")
+        self.rx = Link(sim, bandwidth_bps, latency_s, name=f"{name}.rx")
+
+    def utilization(self) -> float:
+        """The busier direction's utilization (what Fig 2 reports)."""
+        return max(self.tx.utilization(), self.rx.utilization())

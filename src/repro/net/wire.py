@@ -1,0 +1,46 @@
+"""Wire-format accounting: header overheads and segmentation.
+
+Latency and saturation points depend on what actually crosses the wire, not
+just the payload, so every transfer is inflated to its on-the-wire size
+here.  Numbers follow the standard frame formats.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Ethernet (14+4) + IPv4 (20) + TCP (20 + typical 12 of options) + preamble
+#: and inter-frame gap amortized in — per TCP segment.
+TCP_SEGMENT_OVERHEAD = 78
+
+#: Maximum TCP payload per segment with a 1500-byte Ethernet MTU.
+TCP_MSS = 1448
+
+#: InfiniBand RC packet overhead: LRH (8) + BTH (12) + RETH (16) + ICRC/VCRC
+#: (6) — per IB MTU-sized packet.
+IB_PACKET_OVERHEAD = 42
+
+#: InfiniBand MTU used by the ConnectX-5 profile.
+IB_MTU = 4096
+
+#: Size of an RDMA read *request* packet on the wire (no payload).
+IB_READ_REQUEST_SIZE = 28
+
+#: Size of an RDMA write/read acknowledgement packet.
+IB_ACK_SIZE = 20
+
+
+def tcp_wire_size(payload: int) -> int:
+    """Bytes on the wire for a TCP message of ``payload`` bytes."""
+    if payload < 0:
+        raise ValueError(f"negative payload {payload}")
+    segments = max(1, math.ceil(payload / TCP_MSS))
+    return payload + segments * TCP_SEGMENT_OVERHEAD
+
+
+def ib_wire_size(payload: int) -> int:
+    """Bytes on the wire for an RC RDMA payload of ``payload`` bytes."""
+    if payload < 0:
+        raise ValueError(f"negative payload {payload}")
+    packets = max(1, math.ceil(payload / IB_MTU))
+    return payload + packets * IB_PACKET_OVERHEAD

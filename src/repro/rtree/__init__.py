@@ -1,0 +1,51 @@
+"""The R\\*-tree and its concurrency/serialization machinery."""
+
+from .bulk import bulk_load
+from .geometry import Rect
+from .locks import RWLock, TreeLockManager
+from .node import DEFAULT_MAX_ENTRIES, Entry, Node, min_entries
+from .rstar import MutationResult, RStarTree, SearchResult
+from .serialize import (
+    CACHE_LINE,
+    ENTRY_SIZE,
+    HEADER_SIZE,
+    NodeView,
+    UnpackedNode,
+    chunk_size,
+    pack_node,
+    snapshot_node,
+    unpack_node,
+)
+from .versioning import (
+    SnapshotReader,
+    VersionValidationError,
+    WriteTracker,
+    validate_snapshot,
+)
+
+__all__ = [
+    "bulk_load",
+    "Rect",
+    "RWLock",
+    "TreeLockManager",
+    "DEFAULT_MAX_ENTRIES",
+    "Entry",
+    "Node",
+    "min_entries",
+    "MutationResult",
+    "RStarTree",
+    "SearchResult",
+    "CACHE_LINE",
+    "ENTRY_SIZE",
+    "HEADER_SIZE",
+    "NodeView",
+    "UnpackedNode",
+    "chunk_size",
+    "pack_node",
+    "snapshot_node",
+    "unpack_node",
+    "SnapshotReader",
+    "VersionValidationError",
+    "WriteTracker",
+    "validate_snapshot",
+]

@@ -1,0 +1,163 @@
+"""Server-side concurrency control for the R-tree.
+
+The paper (§II-A, §III-A) adopts the high-concurrency R-tree locking of
+Kornacker & Banks for server threads: searches take shared (read) locks,
+mutations take exclusive (write) locks, preventing read-write and
+write-write conflicts between server threads.  One-sided RDMA reads bypass
+these locks entirely — that is what the version-number mechanism in
+:mod:`repro.rtree.versioning` is for.
+
+:class:`RWLock` is writer-preferring to avoid writer starvation under the
+paper's search-heavy workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, Tuple
+
+from ..sim.kernel import Event, Simulator
+
+
+class RWLock:
+    """A readers-writer lock for simulation processes."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._readers = 0
+        self._writer = False
+        #: queue of (event, is_writer) in arrival order
+        self._waiting: Deque[Tuple[Event, bool]] = deque()
+        self.read_acquisitions = 0
+        self.write_acquisitions = 0
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire_read(self) -> Event:
+        """Event that succeeds when the shared lock is held."""
+        event = self.sim.event()
+        waiting_writer = any(w for _e, w in self._waiting)
+        if not self._writer and not waiting_writer:
+            self._readers += 1
+            self.read_acquisitions += 1
+            event.succeed()
+        else:
+            self._waiting.append((event, False))
+        return event
+
+    def acquire_write(self) -> Event:
+        """Event that succeeds when the exclusive lock is held."""
+        event = self.sim.event()
+        if not self._writer and self._readers == 0 and not self._waiting:
+            self._writer = True
+            self.write_acquisitions += 1
+            event.succeed()
+        else:
+            self._waiting.append((event, True))
+        return event
+
+    # -- release -------------------------------------------------------------
+
+    def release_read(self) -> None:
+        if self._readers <= 0:
+            raise RuntimeError("release_read() without a held read lock")
+        self._readers -= 1
+        self._dispatch()
+
+    def release_write(self) -> None:
+        if not self._writer:
+            raise RuntimeError("release_write() without a held write lock")
+        self._writer = False
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        if self._writer:
+            return
+        while self._waiting:
+            event, is_writer = self._waiting[0]
+            if is_writer:
+                if self._readers == 0:
+                    self._waiting.popleft()
+                    self._writer = True
+                    self.write_acquisitions += 1
+                    event.succeed()
+                return
+            self._waiting.popleft()
+            self._readers += 1
+            self.read_acquisitions += 1
+            event.succeed()
+
+    # -- context helpers -------------------------------------------------------
+
+    def read_locked(self, body: Generator) -> Generator:
+        """Run ``body`` (a process generator) under the shared lock."""
+        yield self.acquire_read()
+        try:
+            yield from body
+        finally:
+            self.release_read()
+
+    def write_locked(self, body: Generator) -> Generator:
+        """Run ``body`` (a process generator) under the exclusive lock."""
+        yield self.acquire_write()
+        try:
+            yield from body
+        finally:
+            self.release_write()
+
+    @property
+    def held(self) -> str:
+        if self._writer:
+            return "write"
+        if self._readers:
+            return f"read({self._readers})"
+        return "free"
+
+
+class TreeLockManager:
+    """Per-node reader-writer locks, created lazily.
+
+    The server threads use coarse two-phase access: a search read-locks the
+    nodes it visits; a mutation write-locks the nodes it changes.  Lock
+    objects are keyed by chunk id so they survive node relocation.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._locks: Dict[int, RWLock] = {}
+
+    def lock_for(self, chunk_id: int) -> RWLock:
+        lock = self._locks.get(chunk_id)
+        if lock is None:
+            lock = RWLock(self.sim)
+            self._locks[chunk_id] = lock
+        return lock
+
+    def read_guard(self, chunk_ids, body: Generator) -> Generator:
+        """Run ``body`` holding read locks on all ``chunk_ids`` (sorted to
+        avoid deadlock)."""
+        ordered = sorted(set(chunk_ids))
+        locks = [self.lock_for(cid) for cid in ordered]
+        for lock in locks:
+            yield lock.acquire_read()
+        try:
+            yield from body
+        finally:
+            for lock in reversed(locks):
+                lock.release_read()
+
+    def write_guard(self, chunk_ids, body: Generator) -> Generator:
+        """Run ``body`` holding write locks on all ``chunk_ids`` (sorted)."""
+        ordered = sorted(set(chunk_ids))
+        locks = [self.lock_for(cid) for cid in ordered]
+        for lock in locks:
+            yield lock.acquire_write()
+        try:
+            yield from body
+        finally:
+            for lock in reversed(locks):
+                lock.release_write()
+
+    @property
+    def lock_count(self) -> int:
+        return len(self._locks)

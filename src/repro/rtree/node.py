@@ -1,0 +1,134 @@
+"""R-tree node structures.
+
+A node holds up to ``max_entries`` entries.  Leaf entries carry user data
+ids; internal entries point at child nodes.  Every node knows its chunk id
+(its slot in the server's registered memory region, §III-B of the paper)
+and carries versioning state for one-sided-read validation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .geometry import Rect
+
+#: Paper-style capacity: a 4 KB chunk fits 64 entries of 4 doubles + an id.
+DEFAULT_MAX_ENTRIES = 64
+
+#: R*-tree recommendation: m = 40% of M.
+MIN_FILL_FRACTION = 0.4
+
+
+class Entry:
+    """One slot of a node: an MBR plus either a child or a data id."""
+
+    __slots__ = ("rect", "child", "data_id")
+
+    def __init__(
+        self,
+        rect: Rect,
+        child: Optional["Node"] = None,
+        data_id: Optional[int] = None,
+    ):
+        if (child is None) == (data_id is None):
+            raise ValueError("entry needs exactly one of child / data_id")
+        self.rect = rect
+        self.child = child
+        self.data_id = data_id
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.data_id is not None
+
+    def __repr__(self) -> str:
+        ref = f"data={self.data_id}" if self.is_leaf_entry else (
+            f"child=#{self.child.chunk_id}"
+        )
+        return f"Entry({self.rect!r}, {ref})"
+
+
+class Node:
+    """An R-tree node.  ``level`` 0 is a leaf; the root has the max level."""
+
+    __slots__ = (
+        "level",
+        "entries",
+        "chunk_id",
+        "parent",
+        "version",
+        "active_writers",
+    )
+
+    def __init__(self, level: int, chunk_id: int = -1):
+        if level < 0:
+            raise ValueError(f"negative level {level}")
+        self.level = level
+        self.entries: List[Entry] = []
+        self.chunk_id = chunk_id
+        self.parent: Optional["Node"] = None
+        #: Incremented on every modification (per-cache-line version model).
+        self.version = 0
+        #: Number of server threads currently mutating this node; a one-
+        #: sided read sampled while this is non-zero is a torn read.
+        self.active_writers = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries."""
+        if not self.entries:
+            raise ValueError("mbr() of an empty node")
+        return Rect.union_of(e.rect for e in self.entries)
+
+    def add(self, entry: Entry) -> None:
+        """Append an entry, maintaining parent links for internal nodes."""
+        if entry.child is not None:
+            if entry.child.level != self.level - 1:
+                raise ValueError(
+                    f"child level {entry.child.level} under node level "
+                    f"{self.level}"
+                )
+            entry.child.parent = self
+        elif not self.is_leaf:
+            raise ValueError("data entry added to an internal node")
+        self.entries.append(entry)
+
+    def remove(self, entry: Entry) -> None:
+        self.entries.remove(entry)
+        if entry.child is not None:
+            entry.child.parent = None
+
+    def entry_for_child(self, child: "Node") -> Entry:
+        for entry in self.entries:
+            if entry.child is child:
+                return entry
+        raise KeyError(f"node #{self.chunk_id} has no entry for child "
+                       f"#{child.chunk_id}")
+
+    def begin_write(self) -> None:
+        """Mark the start of a server-side mutation (versioning model)."""
+        self.active_writers += 1
+
+    def end_write(self) -> None:
+        """Mark the end of a mutation; bumps the version."""
+        if self.active_writers <= 0:
+            raise RuntimeError(
+                f"end_write() without begin_write() on node #{self.chunk_id}"
+            )
+        self.active_writers -= 1
+        self.version += 1
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else f"internal(l{self.level})"
+        return f"<Node #{self.chunk_id} {kind} n={self.count} v{self.version}>"
+
+
+def min_entries(max_entries: int) -> int:
+    """R*-tree minimum fill: 40% of capacity, at least 2."""
+    return max(2, int(max_entries * MIN_FILL_FRACTION))

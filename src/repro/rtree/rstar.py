@@ -1,0 +1,465 @@
+"""R\\*-tree: insertion, deletion, search and node splitting.
+
+The paper integrates all its communication schemes with the R\\*-tree
+(Beckmann, Kriegel, Schneider, Seeger, SIGMOD'90) — §III-A: "we use the
+mechanisms of R*-tree for the rectangle insertion and R-tree split".  This
+module implements the full algorithm set:
+
+* **ChooseSubtree** with the minimum-overlap-enlargement rule at the leaf
+  parent level (with the 32-candidate optimization from the paper) and
+  minimum-area-enlargement above;
+* **Split** with the two-pass axis/index selection over margin and overlap;
+* **OverflowTreatment** with forced reinsertion (30% of entries, closest
+  reinsert order) once per level per insertion;
+* **CondenseTree** deletion with orphan reinsertion.
+
+Every public operation reports which nodes it visited and mutated so the
+surrounding simulation can charge CPU time and open torn-read windows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from .geometry import Rect
+from .node import DEFAULT_MAX_ENTRIES, Entry, Node, min_entries
+
+#: Fraction of entries evicted by forced reinsertion (R* paper: p = 30%).
+REINSERT_FRACTION = 0.3
+
+#: ChooseSubtree examines only the best-32 candidates by area enlargement
+#: when computing overlap enlargements (R* paper optimization for large M).
+CHOOSE_SUBTREE_CANDIDATES = 32
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search: matches plus traversal accounting."""
+
+    matches: List[Tuple[Rect, int]] = field(default_factory=list)
+    nodes_visited: int = 0
+    leaf_nodes_visited: int = 0
+    visited_chunks: List[int] = field(default_factory=list)
+
+    @property
+    def data_ids(self) -> List[int]:
+        """Just the matching data ids (the rects are in ``matches``)."""
+        return [data_id for _rect, data_id in self.matches]
+
+    @property
+    def count(self) -> int:
+        return len(self.matches)
+
+
+@dataclass
+class MutationResult:
+    """Outcome of an insert/delete: accounting for the simulation layer."""
+
+    ok: bool = True
+    nodes_visited: int = 0
+    mutated_nodes: List[Node] = field(default_factory=list)
+    splits: int = 0
+    reinserted_entries: int = 0
+
+
+class RStarTree:
+    """An in-memory R\\*-tree over 2-D rectangles.
+
+    ``alloc_chunk``/``free_chunk`` tie node lifetimes to the server's
+    registered-memory chunk allocator; by default an internal counter is
+    used so the tree also works stand-alone.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        min_entries_override: Optional[int] = None,
+        alloc_chunk: Optional[Callable[[], int]] = None,
+        free_chunk: Optional[Callable[[int], None]] = None,
+    ):
+        if max_entries < 4:
+            raise ValueError(f"max_entries must be >= 4, got {max_entries}")
+        self.max_entries = max_entries
+        self.min_entries = (
+            min_entries_override
+            if min_entries_override is not None
+            else min_entries(max_entries)
+        )
+        if not 2 <= self.min_entries <= max_entries // 2:
+            raise ValueError(
+                f"min_entries {self.min_entries} outside [2, {max_entries // 2}]"
+            )
+        self._counter = itertools.count()
+        self._alloc_chunk = alloc_chunk or (lambda: next(self._counter))
+        self._free_chunk = free_chunk or (lambda chunk_id: None)
+        #: chunk id -> node; the simulated registered memory content.
+        self.nodes: Dict[int, Node] = {}
+        self.root = self._new_node(level=0)
+        self.size = 0  # number of stored rectangles
+
+    # -- node lifecycle -----------------------------------------------------
+
+    def _new_node(self, level: int) -> Node:
+        node = Node(level, chunk_id=self._alloc_chunk())
+        self.nodes[node.chunk_id] = node
+        return node
+
+    def _drop_node(self, node: Node) -> None:
+        del self.nodes[node.chunk_id]
+        self._free_chunk(node.chunk_id)
+
+    @property
+    def height(self) -> int:
+        """Number of levels (a lone leaf root has height 1)."""
+        return self.root.level + 1
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    # -- search ---------------------------------------------------------------
+
+    def search(self, query: Rect) -> SearchResult:
+        """All data ids whose rectangles intersect ``query``."""
+        result = SearchResult()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            result.nodes_visited += 1
+            result.visited_chunks.append(node.chunk_id)
+            if node.is_leaf:
+                result.leaf_nodes_visited += 1
+                for entry in node.entries:
+                    if entry.rect.intersects(query):
+                        result.matches.append((entry.rect, entry.data_id))
+            else:
+                for entry in node.entries:
+                    if entry.rect.intersects(query):
+                        stack.append(entry.child)
+        return result
+
+    def count_intersections(self, query: Rect) -> int:
+        return self.search(query).count
+
+    def nearest(self, x: float, y: float, k: int = 1) -> SearchResult:
+        """The ``k`` nearest rectangles to point ``(x, y)``.
+
+        Classic best-first branch-and-bound (Hjaltason & Samet): a
+        priority queue ordered by MINDIST interleaves nodes and data
+        entries; entries popped before any closer candidate are final.
+        ``matches`` comes back ordered nearest-first.
+        """
+        import heapq
+
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        result = SearchResult()
+        counter = itertools.count()  # tie-breaker for the heap
+        heap = [(0.0, next(counter), self.root, None)]
+        while heap and len(result.matches) < k:
+            dist, _seq, node, entry = heapq.heappop(heap)
+            if node is None:
+                # A data entry surfaced: nothing unexplored is closer.
+                result.matches.append((entry.rect, entry.data_id))
+                continue
+            result.nodes_visited += 1
+            result.visited_chunks.append(node.chunk_id)
+            if node.is_leaf:
+                result.leaf_nodes_visited += 1
+                for leaf_entry in node.entries:
+                    heapq.heappush(heap, (
+                        leaf_entry.rect.min_dist2_point(x, y),
+                        next(counter), None, leaf_entry,
+                    ))
+            else:
+                for child_entry in node.entries:
+                    heapq.heappush(heap, (
+                        child_entry.rect.min_dist2_point(x, y),
+                        next(counter), child_entry.child, None,
+                    ))
+        return result
+
+    # -- insertion ---------------------------------------------------------------
+
+    def insert(self, rect: Rect, data_id: int) -> MutationResult:
+        """Insert one rectangle (R* insert with forced reinsertion)."""
+        result = MutationResult()
+        # One forced reinsert per level per insertion (R* OverflowTreatment).
+        self._reinserted_levels: Set[int] = set()
+        self._insert_entry(Entry(rect, data_id=data_id), level=0,
+                           result=result)
+        self.size += 1
+        return result
+
+    def _insert_entry(self, entry: Entry, level: int,
+                      result: MutationResult) -> None:
+        node = self._choose_subtree(entry.rect, level, result)
+        node.add(entry)
+        self._note_mutation(node, result)
+        self._adjust_path_mbrs(node, result)
+        if node.count > self.max_entries:
+            self._overflow_treatment(node, result)
+
+    def _choose_subtree(self, rect: Rect, level: int,
+                        result: MutationResult) -> Node:
+        node = self.root
+        while node.level > level:
+            result.nodes_visited += 1
+            if node.level == level + 1 and node.level == 1:
+                entry = self._choose_leaf_parent_entry(node, rect)
+            else:
+                entry = self._choose_min_enlargement_entry(node, rect)
+            node = entry.child
+        result.nodes_visited += 1
+        return node
+
+    def _choose_min_enlargement_entry(self, node: Node, rect: Rect) -> Entry:
+        best = None
+        best_key = None
+        for entry in node.entries:
+            key = (entry.rect.enlargement(rect), entry.rect.area())
+            if best_key is None or key < best_key:
+                best, best_key = entry, key
+        return best
+
+    def _choose_leaf_parent_entry(self, node: Node, rect: Rect) -> Entry:
+        """Min overlap enlargement among the best candidates (R* rule)."""
+        candidates = node.entries
+        if len(candidates) > CHOOSE_SUBTREE_CANDIDATES:
+            candidates = sorted(
+                candidates, key=lambda e: e.rect.enlargement(rect)
+            )[:CHOOSE_SUBTREE_CANDIDATES]
+        best = None
+        best_key = None
+        for entry in candidates:
+            enlarged = entry.rect.union(rect)
+            overlap_delta = 0.0
+            for other in node.entries:
+                if other is entry:
+                    continue
+                overlap_delta += (
+                    enlarged.overlap_area(other.rect)
+                    - entry.rect.overlap_area(other.rect)
+                )
+            key = (
+                overlap_delta,
+                entry.rect.enlargement(rect),
+                entry.rect.area(),
+            )
+            if best_key is None or key < best_key:
+                best, best_key = entry, key
+        return best
+
+    # -- overflow: forced reinsert or split ------------------------------------
+
+    def _overflow_treatment(self, node: Node, result: MutationResult) -> None:
+        if node is not self.root and node.level not in self._reinserted_levels:
+            self._reinserted_levels.add(node.level)
+            self._forced_reinsert(node, result)
+        else:
+            self._split(node, result)
+
+    def _forced_reinsert(self, node: Node, result: MutationResult) -> None:
+        """Evict the p% entries farthest from the node centre, re-insert."""
+        count = max(1, int(REINSERT_FRACTION * self.max_entries))
+        mbr = node.mbr()
+        ordered = sorted(
+            node.entries,
+            key=lambda e: e.rect.center_distance2(mbr),
+            reverse=True,
+        )
+        evicted = ordered[:count]
+        for entry in evicted:
+            node.remove(entry)
+        self._note_mutation(node, result)
+        self._adjust_path_mbrs(node, result)
+        result.reinserted_entries += len(evicted)
+        # Close reinsert: nearest first (R* experiments favour this order).
+        for entry in reversed(evicted):
+            self._insert_entry(entry, node.level, result)
+
+    def _split(self, node: Node, result: MutationResult) -> None:
+        result.splits += 1
+        group_a, group_b = self._choose_split(node.entries)
+        sibling = self._new_node(node.level)
+        node.entries = []
+        for entry in group_a:
+            node.add(entry)
+        for entry in group_b:
+            sibling.add(entry)
+        self._note_mutation(node, result)
+        self._note_mutation(sibling, result)
+        if node is self.root:
+            new_root = self._new_node(node.level + 1)
+            new_root.add(Entry(node.mbr(), child=node))
+            new_root.add(Entry(sibling.mbr(), child=sibling))
+            self.root = new_root
+            self._note_mutation(new_root, result)
+            return
+        parent = node.parent
+        parent.entry_for_child(node).rect = node.mbr()
+        parent.add(Entry(sibling.mbr(), child=sibling))
+        self._note_mutation(parent, result)
+        self._adjust_path_mbrs(parent, result)
+        if parent.count > self.max_entries:
+            self._overflow_treatment(parent, result)
+
+    def _choose_split(
+        self, entries: List[Entry]
+    ) -> Tuple[List[Entry], List[Entry]]:
+        """R* split: choose axis by margin sum, index by overlap/area."""
+        m = self.min_entries
+        best_axis_margin = None
+        best_axis_sortings = None
+        for axis in ("x", "y"):
+            if axis == "x":
+                by_lower = sorted(entries, key=lambda e: (e.rect.minx,
+                                                          e.rect.maxx))
+                by_upper = sorted(entries, key=lambda e: (e.rect.maxx,
+                                                          e.rect.minx))
+            else:
+                by_lower = sorted(entries, key=lambda e: (e.rect.miny,
+                                                          e.rect.maxy))
+                by_upper = sorted(entries, key=lambda e: (e.rect.maxy,
+                                                          e.rect.miny))
+            margin_sum = 0.0
+            for ordered in (by_lower, by_upper):
+                for k in self._split_points(len(entries), m):
+                    left = Rect.union_of(e.rect for e in ordered[:k])
+                    right = Rect.union_of(e.rect for e in ordered[k:])
+                    margin_sum += left.margin() + right.margin()
+            if best_axis_margin is None or margin_sum < best_axis_margin:
+                best_axis_margin = margin_sum
+                best_axis_sortings = (by_lower, by_upper)
+        best_key = None
+        best_groups = None
+        for ordered in best_axis_sortings:
+            for k in self._split_points(len(entries), m):
+                left = Rect.union_of(e.rect for e in ordered[:k])
+                right = Rect.union_of(e.rect for e in ordered[k:])
+                key = (left.overlap_area(right),
+                       left.area() + right.area())
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_groups = (list(ordered[:k]), list(ordered[k:]))
+        return best_groups
+
+    @staticmethod
+    def _split_points(total: int, m: int) -> Iterable[int]:
+        """Legal left-group sizes: both groups get at least ``m`` entries."""
+        return range(m, total - m + 1)
+
+    # -- deletion -----------------------------------------------------------------
+
+    def delete(self, rect: Rect, data_id: int) -> MutationResult:
+        """Remove one rectangle; returns ``ok=False`` if not present."""
+        result = MutationResult()
+        leaf, entry = self._find_leaf(self.root, rect, data_id, result)
+        if leaf is None:
+            result.ok = False
+            return result
+        leaf.remove(entry)
+        self._note_mutation(leaf, result)
+        self.size -= 1
+        self._condense_tree(leaf, result)
+        # Shrink the root if it became a lone-child internal node.
+        while not self.root.is_leaf and self.root.count == 1:
+            old_root = self.root
+            self.root = old_root.entries[0].child
+            self.root.parent = None
+            self._drop_node(old_root)
+            self._note_mutation(self.root, result)
+        return result
+
+    def _find_leaf(
+        self, node: Node, rect: Rect, data_id: int, result: MutationResult
+    ) -> Tuple[Optional[Node], Optional[Entry]]:
+        result.nodes_visited += 1
+        if node.is_leaf:
+            for entry in node.entries:
+                if entry.data_id == data_id and entry.rect == rect:
+                    return node, entry
+            return None, None
+        for entry in node.entries:
+            if entry.rect.intersects(rect):
+                leaf, found = self._find_leaf(entry.child, rect, data_id,
+                                              result)
+                if leaf is not None:
+                    return leaf, found
+        return None, None
+
+    def _condense_tree(self, node: Node, result: MutationResult) -> None:
+        orphans: List[Tuple[Entry, int]] = []
+        while node is not self.root:
+            parent = node.parent
+            if node.count < self.min_entries:
+                parent.remove(parent.entry_for_child(node))
+                for entry in list(node.entries):
+                    node.remove(entry)
+                    orphans.append((entry, node.level))
+                self._drop_node(node)
+                self._note_mutation(parent, result)
+            else:
+                entry = parent.entry_for_child(node)
+                entry.rect = node.mbr()
+                self._note_mutation(parent, result)
+            node = parent
+        self._reinserted_levels = set()
+        for entry, level in orphans:
+            self._insert_entry(entry, level, result)
+
+    # -- MBR maintenance ------------------------------------------------------------
+
+    def _adjust_path_mbrs(self, node: Node, result: MutationResult) -> None:
+        while node.parent is not None:
+            parent = node.parent
+            entry = parent.entry_for_child(node)
+            new_mbr = node.mbr() if node.entries else entry.rect
+            if new_mbr == entry.rect:
+                break
+            entry.rect = new_mbr
+            self._note_mutation(parent, result)
+            node = parent
+
+    @staticmethod
+    def _note_mutation(node: Node, result: MutationResult) -> None:
+        if node not in result.mutated_nodes:
+            result.mutated_nodes.append(node)
+
+    # -- invariants (used by the test suite) ------------------------------------------
+
+    def validate(self) -> None:
+        """Check every structural invariant; raises AssertionError on bugs."""
+        seen_ids: List[int] = []
+        self._validate_node(self.root, is_root=True, seen_ids=seen_ids)
+        assert len(seen_ids) == self.size, (
+            f"size {self.size} but {len(seen_ids)} leaf entries"
+        )
+
+    def _validate_node(self, node: Node, is_root: bool,
+                       seen_ids: List[int]) -> None:
+        if is_root:
+            assert node.parent is None, "root has a parent"
+            if not node.is_leaf:
+                assert node.count >= 2, "internal root with < 2 entries"
+        else:
+            assert self.min_entries <= node.count <= self.max_entries, (
+                f"node #{node.chunk_id} has {node.count} entries "
+                f"(bounds [{self.min_entries}, {self.max_entries}])"
+            )
+        assert node.chunk_id in self.nodes, "node missing from registry"
+        for entry in node.entries:
+            if node.is_leaf:
+                assert entry.is_leaf_entry, "child entry in a leaf"
+                seen_ids.append(entry.data_id)
+            else:
+                assert not entry.is_leaf_entry, "data entry in internal node"
+                child = entry.child
+                assert child.parent is node, "broken parent pointer"
+                assert child.level == node.level - 1, "level mismatch"
+                assert entry.rect == child.mbr(), (
+                    f"stale MBR for child #{child.chunk_id}"
+                )
+                self._validate_node(child, is_root=False, seen_ids=seen_ids)

@@ -1,0 +1,185 @@
+"""Fast messaging: RDMA-Write request/response through ring buffers.
+
+This is the paper's first design (§III-A) plus the event-based enhancement
+(§IV-B):
+
+* the client RDMA-Writes a request message into the server's ring buffer;
+* a per-connection server thread picks it up —
+  - **polling mode** (the FaRM-style baseline): the thread busy-polls the
+    ring tail; with more threads than cores the OS scheduler delays the
+    poll that would notice the message (the quadratic latency of Fig 7a);
+  - **event mode** (Catfish): the client uses RDMA Write *with Immediate
+    Data*, the NIC posts a work completion, and the thread sleeps on a
+    completion channel until woken (Fig 6b);
+* the thread executes the R-tree operation and RDMA-Writes the response
+  segments (CONT/END) back into the client's ring buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from ..hw.host import Host
+from ..msg.codec import message_size
+from ..msg.ringbuffer import DEFAULT_RING_CAPACITY, RingBuffer
+from ..net.fabric import Network
+from ..sim.kernel import Simulator
+from ..transport.rdma import CompletionChannel, QpEndpoint, connect
+from .base import RTreeServer
+from .heartbeat import HeartbeatMailbox
+
+POLLING = "polling"
+EVENT = "event"
+
+
+@dataclass
+class FmConnection:
+    """Everything one client<->server fast-messaging pair shares."""
+
+    conn_id: int
+    client_host: Host
+    #: Request ring: lives in server memory, written by the client.
+    request_ring: RingBuffer = None
+    request_rkey: int = 0
+    request_addr: int = 0
+    #: Response ring: lives in client memory, written by the server.
+    response_ring: RingBuffer = None
+    response_rkey: int = 0
+    response_addr: int = 0
+    #: Heartbeat mailbox (``u_serv``) in client memory.
+    mailbox: HeartbeatMailbox = field(default_factory=HeartbeatMailbox)
+    client_end: QpEndpoint = None
+    server_end: QpEndpoint = None
+    server_channel: Optional[CompletionChannel] = None
+    use_imm: bool = False
+
+    # -- client-side send / server-side send helpers ------------------------
+
+    def client_post_request(self, request):
+        """Post the RDMA Write delivering ``request`` to the server ring."""
+        return self.client_end.post_write(
+            self.request_rkey,
+            self.request_addr,
+            request,
+            message_size(request),
+            imm=self.conn_id if self.use_imm else None,
+        )
+
+    def server_post_response(self, segment):
+        """Post the RDMA Write delivering ``segment`` to the client ring."""
+        return self.server_end.post_write(
+            self.response_rkey,
+            self.response_addr,
+            segment,
+            message_size(segment),
+        )
+
+
+class FastMessagingServer:
+    """Per-connection server threads over ring buffers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: RTreeServer,
+        network: Network,
+        mode: str = EVENT,
+        ring_capacity: int = DEFAULT_RING_CAPACITY,
+    ):
+        if mode not in (POLLING, EVENT):
+            raise ValueError(f"unknown notification mode {mode!r}")
+        self.sim = sim
+        self.server = server
+        self.network = network
+        self.mode = mode
+        self.ring_capacity = ring_capacity
+        self.connections: List[FmConnection] = []
+        self.requests_handled = 0
+
+    @property
+    def n_connections(self) -> int:
+        return len(self.connections)
+
+    def open_connection(self, client_host: Host) -> FmConnection:
+        """Bootstrap one client: rings, registered regions, QP, worker."""
+        sim = self.sim
+        server_host = self.server.host
+        conn_id = len(self.connections)
+        conn = FmConnection(conn_id=conn_id, client_host=client_host,
+                            use_imm=(self.mode == EVENT))
+
+        conn.request_ring = RingBuffer(
+            sim, self.ring_capacity, name=f"req-ring-{conn_id}"
+        )
+        req_region = server_host.memory.register(
+            self.ring_capacity, name=f"req-ring-{conn_id}"
+        )
+        server_host.memory.bind(req_region.rkey, conn.request_ring)
+        conn.request_rkey = req_region.rkey
+        conn.request_addr = req_region.base
+
+        conn.response_ring = RingBuffer(
+            sim, self.ring_capacity, name=f"resp-ring-{conn_id}"
+        )
+        resp_region = client_host.memory.register(
+            self.ring_capacity, name=f"resp-ring-{conn_id}"
+        )
+        client_host.memory.bind(resp_region.rkey, conn.response_ring)
+        conn.response_rkey = resp_region.rkey
+        conn.response_addr = resp_region.base
+
+        mailbox_region = client_host.memory.register(64, name=f"hb-{conn_id}")
+        client_host.memory.bind(mailbox_region.rkey, conn.mailbox)
+
+        conn.client_end, conn.server_end = connect(
+            sim, self.network, client_host, server_host,
+            name=f"fm-{conn_id}",
+        )
+        if self.mode == EVENT:
+            conn.server_channel = CompletionChannel(
+                sim, name=f"chan-{conn_id}"
+            )
+            conn.server_end.cq.attach_channel(conn.server_channel)
+
+        self.connections.append(conn)
+        if self.mode == POLLING:
+            # Every connection adds a busy-polling thread; useful work on
+            # oversubscribed cores slows down accordingly.
+            self.server.service_inflation = (
+                self.server.host.scheduler.service_inflation(
+                    self.n_connections
+                )
+            )
+        sim.process(self._worker(conn), name=f"fm-worker-{conn_id}")
+        return conn
+
+    # -- the server thread ------------------------------------------------------
+
+    def _worker(self, conn: FmConnection) -> Generator:
+        scheduler = self.server.host.scheduler
+        while True:
+            if self.mode == EVENT:
+                yield conn.server_channel.wait()
+                yield self.sim.timeout(scheduler.event_wakeup_delay())
+                found, request = conn.request_ring.try_consume()
+                if not found:
+                    continue
+            else:
+                request = yield conn.request_ring.consume()
+                # The message is in the ring, but the polling thread must be
+                # scheduled onto a core to notice it.
+                yield self.sim.timeout(
+                    scheduler.polling_wakeup_delay(self.n_connections)
+                )
+            yield from self._handle(conn, request)
+            self.requests_handled += 1
+
+    def _handle(self, conn: FmConnection, request) -> Generator:
+        segments = yield from self.server.handle_request(request)
+        yield from self.server.host.cpu.execute(
+            self.server.costs.response_cost(len(segments))
+        )
+        for segment in segments:
+            yield from conn.response_ring.reserve(segment)
+            yield conn.server_post_response(segment)

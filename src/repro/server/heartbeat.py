@@ -1,0 +1,89 @@
+"""Server CPU-utilization heartbeats (paper §IV-A).
+
+Every ``Inv`` (10 ms in the paper) the server samples its CPU utilization
+over the elapsed window and RDMA-Writes it to every connected client
+through the response ring buffer.  Heartbeats are droppable: if a client's
+ring has no room (its link is congested), the heartbeat is skipped — the
+client-side algorithm deliberately treats a missing heartbeat as "do not
+offload", because offloading would add bandwidth to an already saturated
+link.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..msg.codec import Heartbeat
+from ..sim.kernel import Simulator
+
+#: The paper's heartbeat interval.
+DEFAULT_HEARTBEAT_INTERVAL = 10e-3
+
+
+class HeartbeatMailbox:
+    """The client-side ``u_serv`` memory region of Algorithm 1."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.seq = -1
+        self.updates = 0
+
+    def rdma_write(self, address: int, length: int, payload, now: float):
+        """Verbs target: the server's heartbeat write lands here."""
+        if not isinstance(payload, Heartbeat):
+            raise TypeError(f"mailbox got {type(payload).__name__}")
+        self.deliver(payload)
+
+    def deliver(self, heartbeat: Heartbeat) -> None:
+        self.value = heartbeat.utilization
+        self.seq = heartbeat.seq
+        self.updates += 1
+
+    def read_and_clear(self) -> float:
+        """Algorithm 1 lines 7-10: read ``u_serv`` then memset it to 0."""
+        value = self.value
+        self.value = 0.0
+        return value
+
+
+class HeartbeatService:
+    """The server-side module broadcasting utilization to clients."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu_window_utilization,
+        interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self._sample = cpu_window_utilization
+        #: (response_ring, send_fn) per connection; send_fn posts the
+        #: actual RDMA Write of a heartbeat into that client's ring.
+        self._subscribers: List = []
+        self._seq = 0
+        self.beats_sent = 0
+        self.beats_dropped = 0
+        self._proc = None
+
+    def subscribe(self, response_ring, send_fn) -> None:
+        self._subscribers.append((response_ring, send_fn))
+
+    def start(self) -> None:
+        if self._proc is None:
+            self._proc = self.sim.process(self._run(), name="heartbeat")
+
+    def _run(self) -> Generator:
+        while True:
+            yield self.sim.timeout(self.interval)
+            utilization = self._sample()
+            self._seq += 1
+            heartbeat = Heartbeat(utilization=utilization, seq=self._seq)
+            for ring, send_fn in self._subscribers:
+                if ring.try_reserve(heartbeat):
+                    send_fn(heartbeat)
+                    self.beats_sent += 1
+                else:
+                    self.beats_dropped += 1

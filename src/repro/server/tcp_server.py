@@ -1,0 +1,49 @@
+"""TCP/IP R-tree server — the paper's socket baseline.
+
+One server thread per connection: recv request, execute the R-tree
+operation, send the response back.  All the kernel CPU costs of the socket
+path are charged by :class:`~repro.transport.tcp.TcpConnection`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List
+
+from ..msg.codec import ResponseSegment, message_size
+from ..sim.kernel import Simulator
+from ..transport.tcp import TcpConnection
+from .base import RTreeServer
+
+
+class TcpRTreeServer:
+    """Socket request loop on top of :class:`RTreeServer`."""
+
+    def __init__(self, sim: Simulator, server: RTreeServer):
+        self.sim = sim
+        self.server = server
+        self.connections: List[TcpConnection] = []
+        self.requests_handled = 0
+
+    def accept(self, conn: TcpConnection) -> None:
+        """Register a connection and start its worker thread."""
+        self.connections.append(conn)
+        self.sim.process(
+            self._worker(conn), name=f"tcp-worker-{len(self.connections)}"
+        )
+
+    def _worker(self, conn: TcpConnection) -> Generator:
+        while True:
+            message = yield conn.server_recv()
+            yield from self._handle(conn, message.payload)
+            self.requests_handled += 1
+
+    def _handle(self, conn: TcpConnection, request) -> Generator:
+        segments = yield from self.server.handle_request(request)
+        # TCP is a byte stream: coalesce into one send, no CONT/END
+        # segmentation needed.
+        results = tuple(r for seg in segments for r in seg.results)
+        response = ResponseSegment(
+            segments[0].req_id, results, last=True, ok=segments[-1].ok,
+            count=segments[-1].count,
+        )
+        yield from conn.server_send(response, message_size(response))

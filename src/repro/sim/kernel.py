@@ -1,0 +1,422 @@
+"""Discrete-event simulation kernel.
+
+This is the foundation of the whole reproduction: every host, NIC, link,
+server thread and client in the Catfish system is a :class:`Process`
+(a generator-based coroutine) scheduled by a :class:`Simulator`.
+
+The design follows the classic event-loop DES style (compare simpy, which is
+not available offline): a process yields *events* and is resumed when the
+event triggers, receiving the event's value.  Simulated time only advances
+between events; callbacks run at a single instant.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(5.0)
+...     return sim.now
+>>> proc = sim.process(hello(sim))
+>>> sim.run()
+>>> proc.value
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: Sentinel priority: events scheduled with URGENT run before NORMAL ones
+#: that were scheduled for the same simulated instant.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when succeeding/failing an event that already triggered."""
+
+
+class Interrupt(SimulationError):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *pending*, is *triggered* by :meth:`succeed` or
+    :meth:`fail` (which schedules it on the simulator queue), and is
+    *processed* once its callbacks have run.  Processes wait on events by
+    yielding them.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        #: True once a failure has been consumed by some waiter; lets the
+        #: kernel detect unhandled failures.
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value and is (or will be) processed."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._ok is not None:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._ok is not None:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self, NORMAL)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed."""
+        if self.callbacks is None:
+            raise SimulationError("cannot add a callback to a processed event")
+        self.callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = (
+            "pending" if self._ok is None
+            else "ok" if self._ok
+            else "failed"
+        )
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running coroutine; also an event that triggers when it finishes.
+
+    The coroutine is a generator that yields :class:`Event` instances.  When
+    a yielded event triggers, the process resumes with the event's value (or
+    the event's exception thrown in, if it failed).  The process event itself
+    succeeds with the generator's return value, or fails with its uncaught
+    exception.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the coroutine has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a dead process is an error; interrupting a process
+        twice before it handles the first is allowed (both are delivered).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._target is self.sim._active_event:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from the event we were waiting on so its later trigger does
+        # not resume us a second time.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        event = Event(self.sim)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event.defused = True
+        event.callbacks.append(self._resume)
+        self.sim._schedule(event, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            # Stale wake-up (e.g. the event we abandoned on interrupt).
+            if not event._ok:
+                event.defused = True
+            return
+        self.sim._active_process = self
+        self.sim._active_event = None
+        while True:
+            if event._ok:
+                try:
+                    target = self._generator.send(event._value)
+                except StopIteration as exc:
+                    self._finish(True, exc.value)
+                    break
+                except BaseException as exc:  # noqa: BLE001 - propagate via event
+                    self._finish(False, exc)
+                    break
+            else:
+                event.defused = True
+                try:
+                    target = self._generator.throw(event._value)
+                except StopIteration as exc:
+                    self._finish(True, exc.value)
+                    break
+                except BaseException as exc:  # noqa: BLE001
+                    self._finish(False, exc)
+                    break
+
+            if not isinstance(target, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded {target!r}, not an Event"
+                )
+                event = Event(self.sim)
+                event._ok = False
+                event._value = exc
+                event.defused = True
+                continue
+            if target.processed:
+                # Already-processed events resume the process immediately.
+                event = target
+                continue
+            target.add_callback(self._resume)
+            self._target = target
+            self.sim._active_event = target
+            break
+        self.sim._active_process = None
+        self.sim._active_event = None
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._target = None
+        self._ok = ok
+        self._value = value
+        if not ok:
+            # If nobody is waiting on this process, the failure must surface.
+            if not self.callbacks:
+                self.sim._crash(value)
+                return
+        self.sim._schedule(self, NORMAL)
+
+
+class Simulator:
+    """The event loop: a priority queue of (time, priority, seq, event)."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now: float = start_time
+        self._queue: List = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+        self._active_event: Optional[Event] = None
+        self._pending_crash: Optional[BaseException] = None
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._queue, (self.now + delay, priority, next(self._seq), event)
+        )
+
+    def _crash(self, exc: BaseException) -> None:
+        """Record an unhandled process failure; re-raised by run()/step()."""
+        if self._pending_crash is None:
+            self._pending_crash = exc
+
+    # -- event factories -------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator, name=name)
+
+    # -- execution -------------------------------------------------------
+
+    @property
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        time, _prio, _seq, event = heapq.heappop(self._queue)
+        self.now = time
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event.defused:
+            self._crash(event._value)
+        if self._pending_crash is not None:
+            exc, self._pending_crash = self._pending_crash, None
+            raise exc
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulated time reaches ``until``."""
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def run_until_triggered(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` triggers; returns its value.
+
+        Raises the event's exception if it failed, or
+        :class:`SimulationError` if the queue drains (or ``limit`` simulated
+        time is reached) before the event triggers.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError("queue drained before event triggered")
+            if self._queue[0][0] > limit:
+                raise SimulationError(f"event not triggered by t={limit}")
+            self.step()
+        if not event._ok:
+            event.defused = True
+            raise event._value
+        return event._value
+
+
+def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that succeeds when every event in ``events`` succeeds.
+
+    Its value is the list of the constituent events' values, in input order.
+    If any constituent fails, the composite fails with that exception (once).
+    """
+    events = list(events)
+    composite = sim.event()
+    if not events:
+        composite.succeed([])
+        return composite
+    remaining = [len(events)]
+
+    def _check(_event: Event) -> None:
+        if composite.triggered:
+            return
+        if not _event._ok:
+            _event.defused = True
+            composite.fail(_event._value)
+            return
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            composite.succeed([e._value for e in events])
+
+    for event in events:
+        if event.processed:
+            # Feed processed events through the same path immediately.
+            _check(event)
+        else:
+            event.add_callback(_check)
+    return composite
+
+
+def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
+    """An event that succeeds when the first of ``events`` succeeds.
+
+    Its value is ``(index, value)`` of the first event to trigger.  Fails if
+    the first event to trigger failed.
+    """
+    events = list(events)
+    if not events:
+        raise ValueError("any_of() requires at least one event")
+    composite = sim.event()
+
+    def _make(index: int) -> Callable[[Event], None]:
+        def _check(_event: Event) -> None:
+            if composite.triggered:
+                if not _event._ok:
+                    _event.defused = True
+                return
+            if _event._ok:
+                composite.succeed((index, _event._value))
+            else:
+                _event.defused = True
+                composite.fail(_event._value)
+        return _check
+
+    for index, event in enumerate(events):
+        callback = _make(index)
+        if event.processed:
+            callback(event)
+            if composite.triggered:
+                break
+        else:
+            event.add_callback(callback)
+    return composite

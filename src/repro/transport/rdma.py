@@ -1,0 +1,339 @@
+"""RDMA verbs model: queue pairs, one-sided Read/Write, completion queues.
+
+This is the substrate the whole paper stands on.  The crucial property is
+enforced structurally: **one-sided operations never touch the remote CPU**.
+An RDMA Read costs the remote host only NIC processing and link bandwidth;
+an RDMA Write deposits data (and optionally an immediate-data completion)
+without any remote core executing a single instruction.
+
+Modelled verbs (all on a reliable connection, as in the paper §II-B):
+
+* ``post_write(...)``            — RDMA Write
+* ``post_write(imm=...)``        — RDMA Write with Immediate Data: also
+  generates a work completion in the *remote* CQ, which is what wakes the
+  event-based server threads (paper §IV-B, Fig 6b)
+* ``post_read(...)``             — RDMA Read; returns the remote data
+
+Remote memory is addressed by ``(rkey, address)`` validated against the
+remote host's :class:`~repro.hw.memory.MemoryRegistry`.  The *content* of a
+region is a Python object bound to the rkey that implements
+``rdma_write(address, length, payload, now)`` / ``rdma_read(address,
+length, now)`` — ring buffers and the R-tree chunk area implement this
+protocol.  The ``now`` timestamp is how the version-validation machinery
+detects reads that overlap concurrent server writes (torn reads).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, Optional
+
+from ..hw.host import Host
+from ..net.fabric import Network
+from ..net.wire import IB_ACK_SIZE, IB_READ_REQUEST_SIZE, ib_wire_size
+from ..sim.kernel import Event, Simulator
+from ..sim.resources import Store
+
+WRITE = "write"
+WRITE_IMM = "write_imm"
+READ = "read"
+RECV_IMM = "recv_imm"
+
+
+class RdmaError(Exception):
+    """Raised for verb misuse (posting on a torn-down QP, etc.)."""
+
+
+class Completion:
+    """A work completion (WC) delivered to a completion queue."""
+
+    __slots__ = ("wr_id", "opcode", "ok", "imm", "value", "length", "error")
+
+    def __init__(
+        self,
+        wr_id: int,
+        opcode: str,
+        ok: bool = True,
+        imm: Optional[int] = None,
+        value: Any = None,
+        length: int = 0,
+        error: Optional[BaseException] = None,
+    ):
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.ok = ok
+        self.imm = imm
+        self.value = value
+        self.length = length
+        self.error = error
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"err({self.error!r})"
+        return f"<WC {self.opcode} wr_id={self.wr_id} {status}>"
+
+
+class CompletionQueue:
+    """Queue of work completions; optionally notifies an event channel."""
+
+    def __init__(self, sim: Simulator, name: str = "cq"):
+        self.sim = sim
+        self.name = name
+        self._store: Store = Store(sim)
+        self._channel: Optional["CompletionChannel"] = None
+        self.total_completions = 0
+
+    def attach_channel(self, channel: "CompletionChannel") -> None:
+        """Register an event channel notified on every new completion."""
+        self._channel = channel
+
+    def push(self, completion: Completion) -> None:
+        self.total_completions += 1
+        self._store.put(completion)
+        if self._channel is not None:
+            self._channel.notify()
+
+    def poll(self) -> Optional[Completion]:
+        """Non-blocking: the oldest completion, or None."""
+        if self._store.items:
+            get = self._store.get()
+            # Store.get on a non-empty store triggers synchronously.
+            return get.value
+        return None
+
+    def wait(self):
+        """Event yielding the next completion (blocking consume)."""
+        return self._store.get()
+
+    def __len__(self) -> int:
+        return len(self._store.items)
+
+
+class CompletionChannel:
+    """The blocking notification path used by event-based fast messaging.
+
+    A server thread yields :meth:`wait` and is descheduled; the NIC
+    ``notify()``-s it when a completion lands (Fig 6b step 2).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "channel"):
+        self.sim = sim
+        self.name = name
+        self._store: Store = Store(sim)
+        self.wakeups = 0
+
+    def notify(self) -> None:
+        self.wakeups += 1
+        self._store.put(object())
+
+    def wait(self):
+        """Event yielding when the next notification arrives."""
+        return self._store.get()
+
+
+class QpEndpoint:
+    """One side of a reliable-connection queue pair."""
+
+    _wr_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        local: Host,
+        remote: Host,
+        cq: Optional[CompletionQueue] = None,
+        name: str = "qp",
+    ):
+        self.sim = sim
+        self.network = network
+        self.local = local
+        self.remote = remote
+        self.cq = cq or CompletionQueue(sim, name=f"{name}.cq")
+        self.name = name
+        self.peer: Optional["QpEndpoint"] = None
+        self.destroyed = False
+        # Counters for experiment reporting.
+        self.writes_posted = 0
+        self.reads_posted = 0
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- verbs -------------------------------------------------------------
+
+    def post_write(
+        self,
+        rkey: int,
+        remote_addr: int,
+        payload: Any,
+        length: int,
+        imm: Optional[int] = None,
+        wr_id: Optional[int] = None,
+        signaled: bool = True,
+    ) -> Event:
+        """Post an RDMA Write (w/ IMM if ``imm`` given).
+
+        Returns an event that succeeds (with the local completion) once the
+        write is acknowledged.  The remote CPU is never involved; if ``imm``
+        is set, the remote *NIC* places a RECV_IMM completion in the peer
+        CQ when the data lands.
+        """
+        self._check_alive()
+        if length < 0:
+            raise ValueError(f"negative length {length}")
+        wr_id = wr_id if wr_id is not None else next(self._wr_ids)
+        self.writes_posted += 1
+        self.bytes_written += length
+        done = self.sim.event()
+        self.sim.process(
+            self._do_write(rkey, remote_addr, payload, length, imm,
+                           wr_id, signaled, done),
+            name=f"{self.name}.write",
+        )
+        return done
+
+    def post_read(
+        self,
+        rkey: int,
+        remote_addr: int,
+        length: int,
+        wr_id: Optional[int] = None,
+    ) -> Event:
+        """Post an RDMA Read; the returned event's value is the data read.
+
+        Costs the remote host NIC processing + tx bandwidth only — by
+        construction no remote CPU cycles are consumed.
+        """
+        self._check_alive()
+        if length <= 0:
+            raise ValueError(f"read length must be > 0, got {length}")
+        wr_id = wr_id if wr_id is not None else next(self._wr_ids)
+        self.reads_posted += 1
+        self.bytes_read += length
+        done = self.sim.event()
+        self.sim.process(
+            self._do_read(rkey, remote_addr, length, wr_id, done),
+            name=f"{self.name}.read",
+        )
+        return done
+
+    # -- internals ----------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self.destroyed:
+            raise RdmaError(f"QP {self.name} has been destroyed")
+        if self.peer is None:
+            raise RdmaError(f"QP {self.name} is not connected")
+
+    def _profile(self):
+        return self.network.profile
+
+    def _do_write(
+        self,
+        rkey: int,
+        remote_addr: int,
+        payload: Any,
+        length: int,
+        imm: Optional[int],
+        wr_id: int,
+        signaled: bool,
+        done: Event,
+    ) -> Generator:
+        profile = self._profile()
+        yield self.sim.timeout(profile.rdma_post_overhead_s)
+        yield from self.local.nic.process_wqe()
+        yield from self.network.transfer(
+            self.local, self.remote, ib_wire_size(length)
+        )
+        yield from self.remote.nic.process_wqe()
+        completion: Optional[Completion] = None
+        try:
+            target = self._validated_target(rkey, remote_addr, max(length, 1))
+            target.rdma_write(remote_addr, length, payload, self.sim.now)
+        except Exception as exc:  # protection fault -> failed completion
+            completion = Completion(wr_id, WRITE, ok=False, error=exc)
+        if completion is None and imm is not None:
+            self.peer.cq.push(
+                Completion(wr_id, RECV_IMM, imm=imm, length=length)
+            )
+        # ACK back to the requester (hardware-level, no payload).
+        yield from self.network.transfer(
+            self.remote, self.local, IB_ACK_SIZE
+        )
+        if completion is None:
+            opcode = WRITE_IMM if imm is not None else WRITE
+            completion = Completion(wr_id, opcode, length=length)
+        if signaled:
+            self.cq.push(completion)
+        if completion.ok:
+            done.succeed(completion)
+        else:
+            done.fail(completion.error)
+
+    def _do_read(
+        self,
+        rkey: int,
+        remote_addr: int,
+        length: int,
+        wr_id: int,
+        done: Event,
+    ) -> Generator:
+        profile = self._profile()
+        yield self.sim.timeout(profile.rdma_post_overhead_s)
+        slot = self.local.nic.acquire_read_slot()
+        yield slot
+        try:
+            yield from self.local.nic.process_wqe()
+            yield from self.network.transfer(
+                self.local, self.remote, IB_READ_REQUEST_SIZE
+            )
+            # Remote side: NIC-only processing; DMA snapshot taken here.
+            yield from self.remote.nic.process_wqe()
+            try:
+                target = self._validated_target(rkey, remote_addr, length)
+                data = target.rdma_read(remote_addr, length, self.sim.now)
+            except Exception as exc:
+                yield from self.network.transfer(
+                    self.remote, self.local, IB_ACK_SIZE
+                )
+                done.fail(exc)
+                return
+            yield from self.network.transfer(
+                self.remote, self.local, ib_wire_size(length)
+            )
+            yield from self.local.nic.process_wqe()
+            completion = Completion(wr_id, READ, value=data, length=length)
+            self.cq.push(completion)
+            done.succeed(data)
+        finally:
+            slot.release()
+
+    def _validated_target(self, rkey: int, address: int, length: int):
+        self.remote.memory.validate(rkey, address, length)
+        target = self.remote.memory.target_of(rkey)
+        if target is None:
+            raise RdmaError(
+                f"rkey {rkey} on {self.remote.name} has no bound target"
+            )
+        return target
+
+    def destroy(self) -> None:
+        self.destroyed = True
+
+
+def connect(
+    sim: Simulator,
+    network: Network,
+    host_a: Host,
+    host_b: Host,
+    name: str = "qp",
+) -> tuple:
+    """Create a connected RC queue pair; returns (endpoint_a, endpoint_b).
+
+    Stands in for the TCP bootstrap the paper uses to exchange QP numbers
+    and registered addresses before RDMA traffic starts.
+    """
+    end_a = QpEndpoint(sim, network, host_a, host_b, name=f"{name}.a")
+    end_b = QpEndpoint(sim, network, host_b, host_a, name=f"{name}.b")
+    end_a.peer = end_b
+    end_b.peer = end_a
+    return end_a, end_b

@@ -1,0 +1,134 @@
+"""TCP/IP transport model — the paper's baseline communication path.
+
+Figure 4 of the paper contrasts TCP/IP with RDMA: TCP crosses the OS kernel
+on *both* hosts (socket copies, protocol processing, interrupts) and always
+involves the remote CPU.  This model charges those costs explicitly:
+
+* the sender burns ``tcp_kernel_per_msg_s + bytes * tcp_kernel_per_byte_s``
+  of its own CPU (contended, via the host's :class:`CorePool`);
+* the message serializes over the shared server access link;
+* the receiver burns the same kernel cost on *its* CPU before the payload
+  reaches the application's receive queue.
+
+This is why the TCP baselines in Figs 10-14 stay an order of magnitude
+behind Catfish: the remote-CPU charge makes the server saturate early, and
+the kernel latency inflates small-message RTTs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..hw.host import Host
+from ..net.fabric import Network
+from ..sim.kernel import Simulator
+from ..sim.resources import Store
+
+
+class TcpMessage:
+    """An application message with its payload size accounted."""
+
+    __slots__ = ("payload", "size")
+
+    def __init__(self, payload: Any, size: int):
+        if size < 0:
+            raise ValueError(f"negative message size {size}")
+        self.payload = payload
+        self.size = size
+
+
+class TcpConnection:
+    """A bidirectional stream between one client and the server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        client: Host,
+        server: Host,
+        name: str = "tcp",
+    ):
+        self.sim = sim
+        self.network = network
+        self.client = client
+        self.server = server
+        self.name = name
+        #: Messages awaiting the server application's recv().
+        self.server_inbox: Store = Store(sim)
+        #: Messages awaiting the client application's recv().
+        self.client_inbox: Store = Store(sim)
+        self.closed = False
+
+    # -- internals --------------------------------------------------------
+
+    def _kernel_cost(self, size: int) -> float:
+        p = self.network.profile
+        return p.tcp_kernel_per_msg_s + size * p.tcp_kernel_per_byte_s
+
+    def _deliver(
+        self, src: Host, dst: Host, inbox: Store, message: TcpMessage
+    ) -> Generator:
+        wire = self.network.profile.wire_size(message.size)
+        yield from self.network.transfer(src, dst, wire)
+        # Receive-side kernel processing on the destination CPU.
+        yield from dst.cpu.execute(self._kernel_cost(message.size))
+        yield inbox.put(message)
+
+    def _send(
+        self, src: Host, dst: Host, inbox: Store, payload: Any, size: int
+    ) -> Generator:
+        if self.closed:
+            raise ConnectionError(f"connection {self.name} is closed")
+        message = TcpMessage(payload, size)
+        # Send-side kernel processing blocks the sending thread.
+        yield from src.cpu.execute(self._kernel_cost(size))
+        # Transit + remote kernel processing continue asynchronously so the
+        # sender can pipeline (matches non-blocking socket + kernel buffer).
+        self.sim.process(
+            self._deliver(src, dst, inbox, message),
+            name=f"{self.name}.deliver",
+        )
+
+    # -- client side ------------------------------------------------------
+
+    def client_send(self, payload: Any, size: int) -> Generator:
+        """Send to the server; completes after local kernel processing."""
+        yield from self._send(self.client, self.server, self.server_inbox,
+                              payload, size)
+
+    def client_recv(self):
+        """Event yielding the next server->client message."""
+        return self.client_inbox.get()
+
+    # -- server side ------------------------------------------------------
+
+    def server_send(self, payload: Any, size: int) -> Generator:
+        """Send to the client; completes after local kernel processing."""
+        yield from self._send(self.server, self.client, self.client_inbox,
+                              payload, size)
+
+    def server_recv(self):
+        """Event yielding the next client->server message."""
+        return self.server_inbox.get()
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def request_response(
+    sim: Simulator,
+    conn: TcpConnection,
+    payload: Any,
+    request_size: int,
+    expect_responses: int = 1,
+) -> Generator:
+    """Client helper: send one request, collect ``expect_responses`` replies.
+
+    Returns the list of reply payloads (process generator).
+    """
+    yield from conn.client_send(payload, request_size)
+    replies = []
+    for _ in range(expect_responses):
+        message: TcpMessage = yield conn.client_recv()
+        replies.append(message.payload)
+    return replies

@@ -1,0 +1,78 @@
+"""Tiny ASCII visualization helpers for terminals and logs.
+
+Used by the CLI's ``--timeline`` flag and the examples to show how an
+experiment evolved over time without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Render values as a unicode sparkline.
+
+    ``lo``/``hi`` pin the scale (defaults: data min/max).
+    """
+    values = list(values)
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        return SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        frac = (v - lo) / span
+        index = min(len(SPARK_LEVELS) - 1,
+                    max(0, int(frac * len(SPARK_LEVELS))))
+        out.append(SPARK_LEVELS[index])
+    return "".join(out)
+
+
+def bar_chart(rows: Sequence[Tuple[str, float]], width: int = 40,
+              unit: str = "") -> List[str]:
+    """Horizontal bar chart lines: ``label  ####  value``."""
+    rows = list(rows)
+    if not rows:
+        return []
+    peak = max(v for _l, v in rows) or 1.0
+    label_width = max(len(label) for label, _v in rows)
+    lines = []
+    for label, value in rows:
+        bar = "#" * max(1 if value > 0 else 0,
+                        round(value / peak * width))
+        lines.append(
+            f"{label.rjust(label_width)}  {bar.ljust(width)} "
+            f"{value:.1f}{unit}"
+        )
+    return lines
+
+
+def render_timeline(timeline: Sequence[Tuple[float, float, float]],
+                    max_points: int = 72) -> List[str]:
+    """Render a RunResult timeline as labelled sparklines.
+
+    The timeline entries are ``(time_s, cpu_utilization,
+    offload_fraction)``; long traces are downsampled.
+    """
+    timeline = list(timeline)
+    if not timeline:
+        return ["(no timeline collected)"]
+    if len(timeline) > max_points:
+        step = len(timeline) / max_points
+        timeline = [timeline[int(i * step)] for i in range(max_points)]
+    cpu = [c for _t, c, _o in timeline]
+    offload = [o for _t, _c, o in timeline]
+    start_ms = timeline[0][0] * 1e3
+    end_ms = timeline[-1][0] * 1e3
+    return [
+        f"timeline {start_ms:.2f} .. {end_ms:.2f} ms "
+        f"({len(timeline)} windows)",
+        f"server cpu   [0..1] {sparkline(cpu, 0.0, 1.0)}",
+        f"offload frac [0..1] {sparkline(offload, 0.0, 1.0)}",
+    ]

@@ -1,0 +1,71 @@
+"""Dataset generators: the uniform base tree and skewed insert locations.
+
+* The paper pre-builds its R-tree with 2 million rectangles whose edges
+  scale randomly in ``(0, 0.0001]`` (§V-B).
+* Insert requests in the hybrid workloads pick *locations* from a power law
+  over ``(0.5, 1.0]`` reflected into the four corners — "skewed insertion
+  that mimics geographical data updates happening more often in city
+  areas".
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..rtree.geometry import Rect
+from .scales import power_law_sample
+
+#: The paper's base-tree edge bound.
+DATASET_MAX_EDGE = 1e-4
+#: The paper's base-tree cardinality.
+PAPER_DATASET_SIZE = 2_000_000
+
+
+def uniform_dataset(
+    n: int,
+    max_edge: float = DATASET_MAX_EDGE,
+    seed: int = 0,
+) -> List[Tuple[Rect, int]]:
+    """``n`` rectangles with edges in ``(0, max_edge]``, uniform in [0,1]^2."""
+    if n < 0:
+        raise ValueError(f"negative dataset size {n}")
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        w = rng.uniform(0.0, max_edge)
+        h = rng.uniform(0.0, max_edge)
+        x = rng.uniform(0.0, 1.0 - w)
+        y = rng.uniform(0.0, 1.0 - h)
+        items.append((Rect(x, y, x + w, y + h), i))
+    return items
+
+
+def skewed_insert_center(rng: random.Random) -> Tuple[float, float]:
+    """The paper's corner-skewed insert location (§V-B).
+
+    x and y are drawn from ``f(t) ∝ t^-0.99`` on ``(0.5, 1.0]`` and the
+    point ``(x, y)`` is then reflected uniformly into one of the four
+    corners: (x,y), (1-x,y), (x,1-y), (1-x,1-y).
+    """
+    x = power_law_sample(rng, 0.5, 1.0)
+    y = power_law_sample(rng, 0.5, 1.0)
+    corner = rng.randrange(4)
+    if corner in (1, 3):
+        x = 1.0 - x
+    if corner in (2, 3):
+        y = 1.0 - y
+    return x, y
+
+
+def skewed_insert_rect(
+    rng: random.Random, scale: float, max_edge_cap: float = 1.0
+) -> Rect:
+    """An insert rectangle: skewed centre, edges in ``(0, scale]``."""
+    cx, cy = skewed_insert_center(rng)
+    w = min(rng.uniform(0.0, scale), max_edge_cap)
+    h = min(rng.uniform(0.0, scale), max_edge_cap)
+    # Clamp into the unit square (centres can sit near the border).
+    minx = min(max(cx - w / 2, 0.0), 1.0 - w)
+    miny = min(max(cy - h / 2, 0.0), 1.0 - h)
+    return Rect(minx, miny, minx + w, miny + h)

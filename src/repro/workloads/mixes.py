@@ -1,0 +1,191 @@
+"""Workload mixes: the request streams each simulated client executes.
+
+The paper's evaluations use three mixes:
+
+* 100% search at a given scale (Figs 10/11);
+* 90% search + 10% insert, inserts at corner-skewed locations (Figs 12/13);
+* rea02 queries (Fig 14).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+from ..client.base import OP_DELETE, OP_INSERT, OP_SEARCH, Request
+from ..rtree.geometry import Rect
+from .datasets import skewed_insert_rect
+from .scales import scale_generator
+
+#: Inserted rectangles get ids far above any dataset id.
+INSERT_ID_BASE = 1 << 40
+
+
+def search_only(
+    rng: random.Random, scale_gen, n_requests: int
+) -> List[Request]:
+    """The 100%-search workload."""
+    return [
+        Request(OP_SEARCH, scale_gen.next_rect(rng))
+        for _ in range(n_requests)
+    ]
+
+
+def search_insert_mix(
+    rng: random.Random,
+    scale_gen,
+    n_requests: int,
+    client_id: int,
+    insert_fraction: float = 0.1,
+) -> List[Request]:
+    """The hybrid workload: 90% search, 10% skewed-location insert.
+
+    Per the paper, insert rectangles use the same scale distribution as
+    the searches, but their locations follow the corner power law.
+    """
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError(f"insert_fraction {insert_fraction} outside [0, 1]")
+    requests: List[Request] = []
+    next_insert_id = INSERT_ID_BASE + (client_id << 24)
+    for _ in range(n_requests):
+        if rng.random() < insert_fraction:
+            template = scale_gen.next_rect(rng)
+            scale = max(template.width, template.height, 1e-9)
+            rect = skewed_insert_rect(rng, scale)
+            requests.append(Request(OP_INSERT, rect, data_id=next_insert_id))
+            next_insert_id += 1
+        else:
+            requests.append(Request(OP_SEARCH, scale_gen.next_rect(rng)))
+    return requests
+
+
+def churn_mix(
+    rng: random.Random,
+    scale_gen,
+    n_requests: int,
+    client_id: int,
+    insert_fraction: float = 0.1,
+    delete_fraction: float = 0.1,
+) -> List[Request]:
+    """Search/insert/delete churn: deletes target this client's own
+    earlier inserts (so they are guaranteed to exist at execution time on
+    a synchronous client), keeping the tree size roughly stable."""
+    if insert_fraction < 0 or delete_fraction < 0 or (
+        insert_fraction + delete_fraction > 1.0
+    ):
+        raise ValueError(
+            f"bad fractions insert={insert_fraction} delete={delete_fraction}"
+        )
+    from .datasets import skewed_insert_rect
+
+    requests: List[Request] = []
+    next_insert_id = INSERT_ID_BASE + (client_id << 24)
+    live: List[Request] = []  # this client's not-yet-deleted inserts
+    for _ in range(n_requests):
+        roll = rng.random()
+        if roll < insert_fraction:
+            template = scale_gen.next_rect(rng)
+            scale = max(template.width, template.height, 1e-9)
+            rect = skewed_insert_rect(rng, scale)
+            request = Request(OP_INSERT, rect, data_id=next_insert_id)
+            next_insert_id += 1
+            live.append(request)
+            requests.append(request)
+        elif roll < insert_fraction + delete_fraction and live:
+            victim = live.pop(rng.randrange(len(live)))
+            requests.append(
+                Request(OP_DELETE, victim.rect, data_id=victim.data_id)
+            )
+        else:
+            requests.append(Request(OP_SEARCH, scale_gen.next_rect(rng)))
+    return requests
+
+
+def skewed_hybrid_mix(
+    rng: random.Random,
+    scale_gen,
+    n_requests: int,
+    client_id: int,
+    hotspots,
+    insert_fraction: float = 0.1,
+) -> List[Request]:
+    """Hybrid mix whose *searches* also cluster on Zipf hotspots.
+
+    The paper's intro: bottlenecks are "further aggravated by skew access
+    patterns in real workloads".  Searches here pile onto the same few
+    regions, colliding with the corner-skewed insert stream — which shows
+    up as lock contention on the server path and torn-read retries on the
+    offload path.
+    """
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError(f"insert_fraction {insert_fraction} outside [0, 1]")
+    from .datasets import skewed_insert_rect
+
+    requests: List[Request] = []
+    next_insert_id = INSERT_ID_BASE + (client_id << 24)
+    for _ in range(n_requests):
+        if rng.random() < insert_fraction:
+            template = scale_gen.next_rect(rng)
+            scale = max(template.width, template.height, 1e-9)
+            rect = skewed_insert_rect(rng, scale)
+            requests.append(Request(OP_INSERT, rect, data_id=next_insert_id))
+            next_insert_id += 1
+        else:
+            requests.append(
+                Request(OP_SEARCH, hotspots.next_rect(rng, scale_gen))
+            )
+    return requests
+
+
+def query_stream(queries: Sequence[Rect], rng: random.Random,
+                 n_requests: int) -> List[Request]:
+    """Sample ``n_requests`` searches from a fixed query set (rea02)."""
+    if not queries:
+        raise ValueError("empty query set")
+    return [
+        Request(OP_SEARCH, queries[rng.randrange(len(queries))])
+        for _ in range(n_requests)
+    ]
+
+
+WorkloadFn = Callable[[int, random.Random], List[Request]]
+
+
+def make_workload(
+    kind: str,
+    scale_spec: str = "0.00001",
+    n_requests: int = 1000,
+    insert_fraction: float = 0.1,
+    queries: Sequence[Rect] = (),
+) -> WorkloadFn:
+    """Build a per-client workload factory.
+
+    ``kind`` is one of ``search`` (100% search), ``hybrid`` (90/10) or
+    ``queries`` (fixed query set).  The returned callable takes
+    ``(client_id, rng)`` and produces that client's request list.
+    """
+    if kind == "search":
+        gen = scale_generator(scale_spec)
+        return lambda client_id, rng: search_only(rng, gen, n_requests)
+    if kind == "hybrid":
+        gen = scale_generator(scale_spec)
+        return lambda client_id, rng: search_insert_mix(
+            rng, gen, n_requests, client_id, insert_fraction
+        )
+    if kind == "churn":
+        gen = scale_generator(scale_spec)
+        return lambda client_id, rng: churn_mix(
+            rng, gen, n_requests, client_id, insert_fraction,
+            delete_fraction=insert_fraction,
+        )
+    if kind == "hybrid-skewed":
+        from .skew import HotspotQueries
+        gen = scale_generator(scale_spec)
+        hotspots = HotspotQueries(seed=0)  # shared across all clients
+        return lambda client_id, rng: skewed_hybrid_mix(
+            rng, gen, n_requests, client_id, hotspots, insert_fraction
+        )
+    if kind == "queries":
+        frozen = list(queries)
+        return lambda client_id, rng: query_stream(frozen, rng, n_requests)
+    raise ValueError(f"unknown workload kind {kind!r}")

@@ -1,0 +1,132 @@
+"""Synthetic stand-in for the *rea02* benchmark dataset (paper §V-C).
+
+The real rea02 file (Beckmann & Seeger's multidimensional index benchmark)
+contains 1,888,012 rectangles — street segments of California — and a query
+file tuned so each query returns 50-150 rectangles (average ~100).  The
+file is not redistributable/offline, so this module synthesizes a dataset
+with the structural properties the paper states it relies on:
+
+* rectangles are grouped into **sub-regions of roughly 20,000 objects**;
+* sub-regions are *inserted in random order*;
+* inside a sub-region, rectangles go in **row order, west to east**, rows
+  **north to south** — i.e. the insertion order is strongly spatially
+  correlated within a region and uncorrelated across regions;
+* rectangles are thin street-segment-like boxes (alternating horizontal /
+  vertical elongation);
+* queries are sized from the local density so the expected result count is
+  uniform in [50, 150].
+
+DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from ..rtree.geometry import Rect
+
+REA02_SIZE = 1_888_012
+SUBREGION_OBJECTS = 20_000
+QUERY_RESULTS_MIN = 50
+QUERY_RESULTS_MAX = 150
+
+
+def generate_rea02(
+    n: int = REA02_SIZE,
+    subregion_objects: int = SUBREGION_OBJECTS,
+    seed: int = 0,
+) -> List[Tuple[Rect, int]]:
+    """Synthesize the dataset **in its insertion order**.
+
+    Returns ``(rect, data_id)`` pairs; data ids number the insertion order.
+    """
+    if n <= 0:
+        raise ValueError(f"dataset size must be > 0, got {n}")
+    if subregion_objects < 4:
+        raise ValueError("subregion_objects must be >= 4")
+    rng = random.Random(seed)
+    n_regions = max(1, math.ceil(n / subregion_objects))
+    # Tile the unit square completely: split the regions into rows, each
+    # row spanning the full width, so no part of the space is empty.
+    n_rows = max(1, round(math.sqrt(n_regions)))
+    base = n_regions // n_rows
+    extras = n_regions % n_rows
+    row_counts = [base + (1 if r < extras else 0) for r in range(n_rows)]
+    region_h = 1.0 / n_rows
+    region_geoms = []  # (x0, y0, width, height) per region, in order
+    for row, count_in_row in enumerate(row_counts):
+        width = 1.0 / count_in_row
+        for col in range(count_in_row):
+            region_geoms.append((col * width, row * region_h, width,
+                                 region_h))
+
+    # Build each sub-region's rectangles in row-major (west->east,
+    # north->south) order, then shuffle the *regions*.
+    regions: List[List[Rect]] = []
+    remaining = n
+    for region_index in range(n_regions):
+        count = min(subregion_objects, remaining)
+        remaining -= count
+        x0, y0, region_w, region_h = region_geoms[region_index]
+        rows = max(1, int(math.sqrt(count)))
+        cols = math.ceil(count / rows)
+        cell_w = region_w / cols
+        cell_h = region_h / rows
+        rects: List[Rect] = []
+        made = 0
+        # north (large y) to south: iterate rows top-down.
+        for row in range(rows - 1, -1, -1):
+            if made >= count:
+                break
+            for col in range(cols):
+                if made >= count:
+                    break
+                cx = x0 + (col + rng.uniform(0.3, 0.7)) * cell_w
+                cy = y0 + (row + rng.uniform(0.3, 0.7)) * cell_h
+                # Street segments: thin, elongated along one axis.
+                if (row + col) % 2 == 0:
+                    w = cell_w * rng.uniform(0.5, 0.9)
+                    h = cell_h * rng.uniform(0.02, 0.10)
+                else:
+                    w = cell_w * rng.uniform(0.02, 0.10)
+                    h = cell_h * rng.uniform(0.5, 0.9)
+                minx = min(max(cx - w / 2, 0.0), 1.0 - w)
+                miny = min(max(cy - h / 2, 0.0), 1.0 - h)
+                rects.append(Rect(minx, miny, minx + w, miny + h))
+                made += 1
+        regions.append(rects)
+
+    rng.shuffle(regions)
+    items: List[Tuple[Rect, int]] = []
+    data_id = 0
+    for rects in regions:
+        for rect in rects:
+            items.append((rect, data_id))
+            data_id += 1
+    return items
+
+
+def generate_rea02_queries(
+    n_queries: int,
+    dataset_size: int = REA02_SIZE,
+    seed: int = 1,
+) -> List[Rect]:
+    """Queries whose expected result count is uniform in [50, 150].
+
+    The expected number of intersections of a ``s x s`` query with a
+    uniform density ``d = dataset_size`` (objects per unit area) is about
+    ``d * s^2`` for small objects, so ``s = sqrt(target / d)``.
+    """
+    if n_queries < 0:
+        raise ValueError(f"negative query count {n_queries}")
+    rng = random.Random(seed)
+    queries = []
+    for _ in range(n_queries):
+        target = rng.uniform(QUERY_RESULTS_MIN, QUERY_RESULTS_MAX)
+        s = math.sqrt(target / dataset_size)
+        x = rng.uniform(0.0, 1.0 - s)
+        y = rng.uniform(0.0, 1.0 - s)
+        queries.append(Rect(x, y, x + s, y + s))
+    return queries

@@ -1,0 +1,264 @@
+"""B+tree correctness: puts, gets, scans, deletes, bulk load, invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.btree import BPlusTree
+
+
+def build(n, capacity=8, seed=0):
+    rng = random.Random(seed)
+    keys = rng.sample(range(n * 10), n)
+    tree = BPlusTree(capacity=capacity)
+    for k in keys:
+        tree.put(k, k * 2)
+    return tree, sorted(keys)
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree(capacity=4)
+        assert tree.size == 0
+        assert tree.get(5).items == []
+        assert tree.height == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(capacity=3)
+
+    def test_put_get(self):
+        tree = BPlusTree(capacity=4)
+        tree.put(10, 100)
+        assert tree.get(10).items == [(10, 100)]
+        assert tree.get(11).items == []
+
+    def test_overwrite_keeps_size(self):
+        tree = BPlusTree(capacity=4)
+        tree.put(1, 10)
+        tree.put(1, 20)
+        assert tree.size == 1
+        assert tree.get(1).items == [(1, 20)]
+
+    def test_split_grows_height(self):
+        tree = BPlusTree(capacity=4)
+        for k in range(10):
+            tree.put(k, k)
+        assert tree.height >= 2
+        tree.validate()
+
+    def test_many_inserts_valid(self):
+        tree, keys = build(2000, capacity=8, seed=1)
+        tree.validate()
+        assert tree.size == 2000
+        for k in random.Random(2).sample(keys, 100):
+            assert tree.get(k).items == [(k, k * 2)]
+
+    def test_get_missing_between_keys(self):
+        tree, keys = build(500, capacity=8, seed=3)
+        missing = set(range(5000)) - set(keys)
+        for k in list(missing)[:50]:
+            assert tree.get(k).items == []
+
+    def test_visited_chunks_recorded(self):
+        tree, keys = build(1000, capacity=8, seed=4)
+        result = tree.get(keys[0])
+        assert result.nodes_visited == tree.height
+        assert len(result.visited_chunks) == result.nodes_visited
+
+
+class TestRangeScan:
+    def test_full_scan(self):
+        tree, keys = build(300, capacity=8, seed=5)
+        result = tree.range_scan(min(keys), max(keys))
+        assert [k for k, _v in result.items] == keys
+
+    def test_partial_scan(self):
+        tree, keys = build(300, capacity=8, seed=6)
+        lo, hi = keys[50], keys[150]
+        result = tree.range_scan(lo, hi)
+        assert [k for k, _v in result.items] == [
+            k for k in keys if lo <= k <= hi
+        ]
+
+    def test_scan_respects_max_results(self):
+        tree, keys = build(300, capacity=8, seed=7)
+        result = tree.range_scan(min(keys), max(keys), max_results=10)
+        assert result.count == 10
+        assert [k for k, _v in result.items] == keys[:10]
+
+    def test_scan_empty_range_inside_gap(self):
+        tree = BPlusTree(capacity=4)
+        for k in (10, 20, 30):
+            tree.put(k, k)
+        assert tree.range_scan(11, 19).items == []
+
+    def test_invalid_range_rejected(self):
+        tree = BPlusTree(capacity=4)
+        with pytest.raises(ValueError):
+            tree.range_scan(5, 4)
+
+    def test_values_are_returned(self):
+        tree, keys = build(100, capacity=8, seed=8)
+        result = tree.range_scan(min(keys), max(keys))
+        assert all(v == k * 2 for k, v in result.items)
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree = BPlusTree(capacity=4)
+        tree.put(1, 1)
+        assert tree.delete(1).ok
+        assert tree.size == 0
+        assert tree.get(1).items == []
+
+    def test_delete_missing(self):
+        tree = BPlusTree(capacity=4)
+        tree.put(1, 1)
+        assert not tree.delete(2).ok
+        assert tree.size == 1
+
+    def test_delete_half(self):
+        tree, keys = build(800, capacity=8, seed=9)
+        for k in keys[::2]:
+            assert tree.delete(k).ok
+        tree.validate()
+        remaining = keys[1::2]
+        result = tree.range_scan(min(keys), max(keys))
+        assert [k for k, _v in result.items] == remaining
+
+    def test_delete_everything_collapses(self):
+        tree, keys = build(300, capacity=6, seed=10)
+        for k in keys:
+            assert tree.delete(k).ok
+        assert tree.size == 0
+        assert tree.height == 1
+        assert tree.node_count == 1
+
+    def test_merges_and_borrows_counted(self):
+        tree, keys = build(400, capacity=6, seed=11)
+        merges = borrows = 0
+        for k in keys[:350]:
+            result = tree.delete(k)
+            merges += result.merges
+            borrows += result.borrows
+        assert merges > 0
+        assert borrows > 0
+
+    def test_churn_keeps_invariants(self):
+        tree = BPlusTree(capacity=6)
+        rng = random.Random(12)
+        live = {}
+        for step in range(2000):
+            if live and rng.random() < 0.45:
+                k = rng.choice(list(live))
+                del live[k]
+                assert tree.delete(k).ok
+            else:
+                k = rng.randrange(100000)
+                tree.put(k, k + 1)
+                live[k] = k + 1
+            if step % 250 == 249:
+                tree.validate()
+        tree.validate()
+        result = tree.range_scan(0, 100000)
+        assert dict(result.items) == live
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = BPlusTree.bulk_load([])
+        assert tree.size == 0
+
+    @pytest.mark.parametrize("n", [1, 5, 64, 1000])
+    def test_matches_incremental(self, n):
+        rng = random.Random(n)
+        keys = rng.sample(range(n * 10 + 10), n)
+        items = [(k, k * 3) for k in keys]
+        tree = BPlusTree.bulk_load(items, capacity=8)
+        tree.validate()
+        assert tree.size == n
+        for k in keys:
+            assert tree.get(k).items == [(k, k * 3)]
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load([(1, 1), (1, 2)])
+
+    def test_inserts_after_bulk(self):
+        items = [(k * 2, k) for k in range(500)]
+        tree = BPlusTree.bulk_load(items, capacity=8)
+        for k in range(100):
+            tree.put(k * 2 + 1, k)
+        tree.validate()
+        assert tree.size == 600
+
+    def test_deletes_after_bulk(self):
+        items = [(k, k) for k in range(400)]
+        tree = BPlusTree.bulk_load(items, capacity=8)
+        for k in range(0, 400, 2):
+            assert tree.delete(k).ok
+        tree.validate()
+        assert tree.size == 200
+
+
+class TestVersioning:
+    def test_write_protocol(self):
+        tree = BPlusTree(capacity=4)
+        tree.put(1, 1)
+        leaf = tree.root
+        v0 = leaf.version
+        leaf.begin_write()
+        assert leaf.active_writers == 1
+        leaf.end_write()
+        assert leaf.version == v0 + 1
+
+    def test_end_without_begin(self):
+        tree = BPlusTree(capacity=4)
+        with pytest.raises(RuntimeError):
+            tree.root.end_write()
+
+    def test_mutated_nodes_reported(self):
+        tree = BPlusTree(capacity=4)
+        result = tree.put(1, 1)
+        assert tree.root in result.mutated_nodes
+
+
+class TestHypothesis:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 10_000), max_size=200))
+    def test_matches_dict_oracle(self, keys):
+        tree = BPlusTree(capacity=5)
+        oracle = {}
+        for k in keys:
+            tree.put(k, k * 7)
+            oracle[k] = k * 7
+        tree.validate()
+        assert dict(tree.range_scan(0, 10_000).items) == oracle
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 5000), min_size=1, max_size=150),
+           st.data())
+    def test_delete_matches_oracle(self, keys, data):
+        tree = BPlusTree(capacity=5)
+        oracle = {}
+        for k in keys:
+            tree.put(k, k)
+            oracle[k] = k
+        to_delete = data.draw(st.sets(st.sampled_from(keys)))
+        for k in to_delete:
+            assert tree.delete(k).ok == (k in oracle)
+            oracle.pop(k, None)
+        tree.validate()
+        assert dict(tree.range_scan(0, 5000).items) == oracle
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 3000), min_size=2, max_size=120,
+                    unique=True),
+           st.integers(0, 3000), st.integers(0, 3000))
+    def test_scan_matches_oracle(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = BPlusTree.bulk_load([(k, k) for k in keys], capacity=5)
+        expected = sorted(k for k in keys if lo <= k <= hi)
+        assert [k for k, _v in tree.range_scan(lo, hi).items] == expected

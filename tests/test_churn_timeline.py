@@ -1,0 +1,119 @@
+"""Tests for the churn workload and timeline collection."""
+
+import random
+
+import pytest
+
+from repro import AdaptiveParams, ExperimentConfig, run_experiment
+from repro.client.base import OP_DELETE, OP_INSERT, OP_SEARCH
+from repro.workloads import make_workload
+from repro.workloads.mixes import churn_mix
+from repro.workloads.scales import FixedScale
+
+
+class TestChurnMix:
+    def test_fractions_roughly_hold(self):
+        rng = random.Random(1)
+        reqs = churn_mix(rng, FixedScale(0.001), 3000, client_id=1,
+                         insert_fraction=0.15, delete_fraction=0.1)
+        inserts = sum(1 for r in reqs if r.op == OP_INSERT)
+        deletes = sum(1 for r in reqs if r.op == OP_DELETE)
+        searches = sum(1 for r in reqs if r.op == OP_SEARCH)
+        assert 0.10 < inserts / len(reqs) < 0.20
+        assert 0.05 < deletes / len(reqs) < 0.15
+        assert searches == len(reqs) - inserts - deletes
+
+    def test_every_delete_follows_its_insert(self):
+        rng = random.Random(2)
+        reqs = churn_mix(rng, FixedScale(0.001), 2000, client_id=3,
+                         insert_fraction=0.2, delete_fraction=0.2)
+        live = set()
+        for r in reqs:
+            if r.op == OP_INSERT:
+                live.add(r.data_id)
+            elif r.op == OP_DELETE:
+                assert r.data_id in live, "delete before its insert"
+                live.remove(r.data_id)
+
+    def test_no_double_deletes(self):
+        rng = random.Random(3)
+        reqs = churn_mix(rng, FixedScale(0.001), 2000, client_id=3,
+                         insert_fraction=0.2, delete_fraction=0.2)
+        deleted = [r.data_id for r in reqs if r.op == OP_DELETE]
+        assert len(deleted) == len(set(deleted))
+
+    def test_fraction_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            churn_mix(rng, FixedScale(0.001), 10, 0,
+                      insert_fraction=0.6, delete_fraction=0.6)
+
+    def test_make_workload_churn(self):
+        fn = make_workload("churn", scale_spec="0.001", n_requests=50,
+                           insert_fraction=0.2)
+        reqs = fn(0, random.Random(0))
+        assert len(reqs) == 50
+
+    def test_churn_experiment_runs(self):
+        result = run_experiment(ExperimentConfig(
+            scheme="catfish",
+            workload_kind="churn",
+            insert_fraction=0.2,
+            n_clients=4,
+            requests_per_client=80,
+            dataset_size=1500,
+            max_entries=16,
+            server_cores=4,
+            seed=8,
+        ))
+        assert result.total_requests == 4 * 80
+        assert result.inserts_served > 0
+        # deletes are counted on the server
+        assert result.extra is not None
+
+
+class TestTimeline:
+    def test_timeline_disabled_by_default(self):
+        result = run_experiment(ExperimentConfig(
+            n_clients=2, requests_per_client=20, dataset_size=500,
+            max_entries=16, server_cores=2,
+        ))
+        assert result.timeline == []
+
+    def test_timeline_collected(self):
+        result = run_experiment(ExperimentConfig(
+            scheme="catfish",
+            n_clients=12,
+            requests_per_client=200,
+            dataset_size=2000,
+            max_entries=16,
+            server_cores=2,
+            heartbeat_interval=0.1e-3,
+            collect_timeline=True,
+            seed=9,
+        ))
+        assert len(result.timeline) >= 5
+        times = [t for t, _c, _o in result.timeline]
+        assert times == sorted(times)
+        for _t, cpu, offload in result.timeline:
+            assert 0.0 <= cpu <= 1.0
+            assert 0.0 <= offload <= 1.0
+
+    def test_timeline_shows_offloading_ramp(self):
+        """Under saturation, later windows offload more than the first."""
+        result = run_experiment(ExperimentConfig(
+            scheme="catfish",
+            n_clients=16,
+            requests_per_client=300,
+            dataset_size=2000,
+            max_entries=16,
+            server_cores=1,
+            heartbeat_interval=0.1e-3,
+            adaptive=AdaptiveParams(N=8, T=0.9, Inv=0.1e-3),
+            collect_timeline=True,
+            seed=10,
+        ))
+        assert result.offload_fraction > 0
+        first = result.timeline[0][2]
+        peak = max(o for _t, _c, o in result.timeline)
+        assert peak > first

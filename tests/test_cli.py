@@ -1,0 +1,116 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scheme == "catfish"
+        assert args.fabric == "ib-100g"
+        assert args.clients == 16
+
+    def test_run_custom(self):
+        args = build_parser().parse_args([
+            "run", "--scheme", "tcp", "--fabric", "eth-1g",
+            "--clients", "4", "--requests", "10", "--scale", "0.01",
+        ])
+        assert args.scheme == "tcp"
+        assert args.fabric == "eth-1g"
+        assert args.clients == 4
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "quic"])
+
+    def test_unknown_fabric_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--fabric", "token-ring"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    SMALL = ["--clients", "2", "--requests", "5",
+             "--dataset-size", "500", "--server-cores", "2"]
+
+    def test_schemes_lists_all(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        for scheme in ("catfish", "tcp", "fast-messaging",
+                       "rdma-offloading"):
+            assert scheme in out
+
+    def test_run_prints_result_row(self, capsys):
+        code = main(["run", "--scheme", "catfish"] + self.SMALL)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "catfish" in out
+        assert "Kops" in out
+
+    def test_run_verbose(self, capsys):
+        code = main(["run", "--scheme", "catfish", "-v"] + self.SMALL)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "heartbeats" in out
+        assert "p50/p99" in out
+
+    def test_run_rejects_rdma_scheme_on_ethernet(self, capsys):
+        code = main(["run", "--scheme", "catfish",
+                     "--fabric", "eth-1g"] + self.SMALL)
+        assert code == 2
+        assert "RDMA fabric" in capsys.readouterr().err
+
+    def test_run_tcp_on_ethernet(self, capsys):
+        code = main(["run", "--scheme", "tcp",
+                     "--fabric", "eth-1g"] + self.SMALL)
+        assert code == 0
+        assert "tcp" in capsys.readouterr().out
+
+    def test_compare_default_four(self, capsys):
+        code = main(["compare"] + self.SMALL)
+        assert code == 0
+        out = capsys.readouterr().out
+        for scheme in ("tcp", "fast-messaging", "rdma-offloading",
+                       "catfish"):
+            assert scheme in out
+
+    def test_compare_custom_schemes(self, capsys):
+        code = main(["compare", "--schemes", "catfish",
+                     "fast-messaging-event"] + self.SMALL)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fast-messaging-event" in out
+
+    def test_compare_unknown_scheme(self, capsys):
+        code = main(["compare", "--schemes", "quic"] + self.SMALL)
+        assert code == 2
+
+    def test_hybrid_workload(self, capsys):
+        code = main(["run", "--scheme", "catfish",
+                     "--workload", "hybrid"] + self.SMALL)
+        assert code == 0
+
+    def test_kv_btree(self, capsys):
+        code = main(["kv", "--index", "btree", "--scheme", "catfish",
+                     "--clients", "2", "--requests", "10",
+                     "--keys", "500", "--server-cores", "2"])
+        assert code == 0
+        assert "btree:catfish" in capsys.readouterr().out
+
+    def test_kv_cuckoo_bandit(self, capsys):
+        code = main(["kv", "--index", "cuckoo",
+                     "--scheme", "catfish-bandit",
+                     "--clients", "2", "--requests", "10",
+                     "--keys", "500", "--server-cores", "2"])
+        assert code == 0
+        assert "cuckoo:catfish-bandit" in capsys.readouterr().out
+
+    def test_kv_rejects_cuckoo_scans(self, capsys):
+        with pytest.raises(ValueError):
+            main(["kv", "--index", "cuckoo", "--scan-fraction", "0.2",
+                  "--clients", "2", "--requests", "5", "--keys", "200"])

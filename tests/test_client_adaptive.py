@@ -1,0 +1,215 @@
+"""Unit tests for Algorithm 1 — the Catfish adaptive back-off client."""
+
+import random
+
+import pytest
+
+from repro.client import AdaptiveParams, CatfishSession, ClientStats, Request
+from repro.client.adaptive import most_recent_utilization
+from repro.client.base import OP_INSERT, OP_SEARCH
+from repro.msg import Heartbeat
+from repro.rtree import Rect
+from repro.sim import Simulator
+
+RECT = Rect(0.1, 0.1, 0.2, 0.2)
+
+
+class FakeMailbox:
+    def __init__(self):
+        self.value = 0.0
+
+    def read_and_clear(self):
+        value = self.value
+        self.value = 0.0
+        return value
+
+
+class FakeFm:
+    """Stands in for FmSession: records calls, exposes a mailbox."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.mailbox = FakeMailbox()
+        self.calls = []
+
+    def execute(self, request):
+        self.calls.append(request)
+        yield self.sim.timeout(1e-6)
+        return []
+
+
+class FakeEngine:
+    def __init__(self, sim):
+        self.sim = sim
+        self.calls = []
+
+    def search(self, rect):
+        self.calls.append(rect)
+        yield self.sim.timeout(1e-6)
+        return []
+
+
+def make_session(params=None, seed=0):
+    sim = Simulator()
+    fm = FakeFm(sim)
+    engine = FakeEngine(sim)
+    stats = ClientStats()
+    session = CatfishSession(
+        sim, fm, engine, stats,
+        params=params or AdaptiveParams(N=8, T=0.95, Inv=1e-3),
+        rng=random.Random(seed),
+    )
+    return sim, fm, engine, session
+
+
+def drive(sim, session, n, op=OP_SEARCH, gap=2e-3):
+    def proc():
+        for i in range(n):
+            request = (Request(op, RECT) if op == OP_SEARCH
+                       else Request(op, RECT, data_id=i))
+            yield from session.execute(request)
+            yield sim.timeout(gap)
+
+    done = sim.process(proc())
+    sim.run_until_triggered(done)
+
+
+def feed(sim, mailbox, value, until, every=1e-3):
+    """Refresh the mailbox with ``value`` every ``every`` until ``until``."""
+    def proc():
+        while sim.now < until:
+            mailbox.value = value
+            yield sim.timeout(every)
+
+    sim.process(proc())
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        params = AdaptiveParams()
+        assert params.N == 8
+        assert params.T == 0.95
+        assert params.Inv == pytest.approx(10e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveParams(N=0)
+        with pytest.raises(ValueError):
+            AdaptiveParams(T=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveParams(T=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveParams(Inv=0.0)
+
+    def test_pred_util_identity(self):
+        assert most_recent_utilization(0.87) == 0.87
+
+
+class TestDecision:
+    def test_idle_server_stays_on_fast_messaging(self):
+        sim, fm, engine, session = make_session()
+        drive(sim, session, 10)
+        assert len(fm.calls) == 10
+        assert len(engine.calls) == 0
+
+    def test_missing_heartbeat_means_no_offload(self):
+        """Paper: no heartbeat (u_serv == 0) must NOT trigger offloading —
+        the cause could be a saturated server link."""
+        sim, fm, engine, session = make_session()
+        fm.mailbox.value = 0.0  # nothing ever arrives
+        drive(sim, session, 20)
+        assert len(engine.calls) == 0
+
+    def test_busy_heartbeat_triggers_offload_window(self):
+        sim, fm, engine, session = make_session(seed=3)
+        feed(sim, fm.mailbox, 0.99, until=1.0)
+        drive(sim, session, 30)
+        assert len(engine.calls) > 0
+        assert session.busy_observations > 0
+
+    def test_not_busy_heartbeat_keeps_fast_messaging(self):
+        sim, fm, engine, session = make_session()
+        feed(sim, fm.mailbox, 0.5, until=1.0)  # below T
+        drive(sim, session, 20)
+        assert len(engine.calls) == 0
+
+    def test_offload_window_is_bounded_by_first_backoff(self):
+        """After one busy observation, at most N-1 consecutive requests
+        offload (r_off drawn from [0, N))."""
+        params = AdaptiveParams(N=8, T=0.95, Inv=1e-3)
+        sim, fm, engine, session = make_session(params)
+        fm.mailbox.value = 0.99  # one heartbeat, never replenished
+        drive(sim, session, 30)
+        assert len(engine.calls) <= params.N - 1
+
+    def test_backoff_extends_while_busy(self):
+        params = AdaptiveParams(N=4, T=0.95, Inv=1e-3)
+        sim, fm, engine, session = make_session(params, seed=5)
+        feed(sim, fm.mailbox, 1.0, until=1.0)
+        drive(sim, session, 60)
+        assert session.backoff_extensions > 0
+        # most requests end up offloaded under sustained saturation
+        assert len(engine.calls) > 30
+
+    def test_recovery_resets_backoff(self):
+        sim, fm, engine, session = make_session(
+            AdaptiveParams(N=4, T=0.95, Inv=1e-3), seed=7
+        )
+
+        def feeder():
+            # busy for 20 ms, then idle
+            while sim.now < 20e-3:
+                fm.mailbox.value = 1.0
+                yield sim.timeout(1e-3)
+
+        sim.process(feeder())
+        drive(sim, session, 40)
+        assert session.r_busy == 0
+        # Tail requests go back to fast messaging.
+        assert fm.calls
+
+    def test_writes_never_offloaded(self):
+        sim, fm, engine, session = make_session(seed=2)
+        feed(sim, fm.mailbox, 1.0, until=1.0)
+        drive(sim, session, 20, op=OP_INSERT)
+        assert len(engine.calls) == 0
+        assert len(fm.calls) == 20
+
+    def test_heartbeat_consumed_at_most_every_inv(self):
+        """Within an Inv window the mailbox must not be re-read."""
+        params = AdaptiveParams(N=8, T=0.95, Inv=5e-3)
+        sim, fm, engine, session = make_session(params)
+        fm.mailbox.value = 1.0
+        reads = []
+
+        original = fm.mailbox.read_and_clear
+
+        def counting_read():
+            reads.append(sim.now)
+            return original()
+
+        fm.mailbox.read_and_clear = counting_read
+        # requests every 1 ms, Inv = 5 ms
+        drive(sim, session, 20, gap=1e-3)
+        for a, b in zip(reads, reads[1:]):
+            assert b - a > params.Inv
+
+    def test_randomized_windows_differ_across_clients(self):
+        lengths = set()
+        for seed in range(6):
+            params = AdaptiveParams(N=8, T=0.95, Inv=1e-3)
+            sim, fm, engine, session = make_session(params, seed=seed)
+            fm.mailbox.value = 0.99  # a single busy observation
+            drive(sim, session, 30)
+            lengths.add(len(engine.calls))
+        # Different clients draw different window sizes.
+        assert len(lengths) > 1
+
+
+class TestHeartbeatIntegration:
+    def test_mailbox_deliver_and_algorithm_read(self):
+        sim, fm, engine, session = make_session()
+        box = FakeMailbox()
+        box.value = 0.97
+        assert box.read_and_clear() == 0.97
+        assert box.value == 0.0

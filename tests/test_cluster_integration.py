@@ -1,0 +1,220 @@
+"""Integration tests: full experiments across every scheme and fabric."""
+
+import math
+
+import pytest
+
+from repro import AdaptiveParams, ExperimentConfig, run_experiment
+from repro.cluster import SCHEMES, scheme_spec
+
+SMALL = dict(n_clients=4, requests_per_client=20, dataset_size=2000,
+             max_entries=16, server_cores=4)
+
+
+def small_config(**overrides):
+    params = dict(SMALL)
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+class TestSchemes:
+    @pytest.mark.parametrize("scheme,fabric", [
+        ("tcp", "eth-1g"),
+        ("tcp", "eth-40g"),
+        ("fast-messaging", "ib-100g"),
+        ("fast-messaging-event", "ib-100g"),
+        ("rdma-offloading", "ib-100g"),
+        ("rdma-offloading-multi", "ib-100g"),
+        ("catfish", "ib-100g"),
+        ("catfish-polling", "ib-100g"),
+        ("catfish-single-issue", "ib-100g"),
+    ])
+    def test_every_scheme_completes_all_requests(self, scheme, fabric):
+        result = run_experiment(small_config(scheme=scheme, fabric=fabric))
+        assert result.total_requests == 4 * 20
+        assert result.throughput_kops > 0
+        assert result.mean_latency_us > 0
+        assert result.p99_latency_us >= result.p50_latency_us
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment(small_config(scheme="quic"))
+
+    def test_rdma_scheme_on_ethernet_rejected(self):
+        with pytest.raises(ValueError):
+            run_experiment(small_config(scheme="catfish", fabric="eth-1g"))
+
+    def test_scheme_registry_contents(self):
+        assert set(SCHEMES) >= {
+            "tcp", "fast-messaging", "rdma-offloading", "catfish",
+        }
+        assert scheme_spec("catfish").multi_issue
+        assert not scheme_spec("rdma-offloading").multi_issue
+
+
+class TestConfigValidation:
+    def test_bad_client_count(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_clients=0)
+
+    def test_bad_request_count(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(requests_per_client=0)
+
+    def test_bad_workload(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(workload_kind="scan")
+
+    def test_total_requests(self):
+        config = ExperimentConfig(n_clients=3, requests_per_client=7)
+        assert config.total_requests == 21
+
+
+class TestBehaviour:
+    def test_offloading_uses_zero_server_cpu_for_searches(self):
+        result = run_experiment(small_config(scheme="rdma-offloading",
+                                             fabric="ib-100g"))
+        assert result.offload_fraction == 1.0
+        assert result.searches_served_by_server == 0
+        assert result.server_cpu_utilization == 0.0
+
+    def test_fast_messaging_never_offloads(self):
+        result = run_experiment(small_config(scheme="fast-messaging",
+                                             fabric="ib-100g"))
+        assert result.offload_fraction == 0.0
+        assert result.searches_served_by_server == 80
+
+    def test_catfish_offloads_under_saturation(self):
+        result = run_experiment(small_config(
+            scheme="catfish",
+            n_clients=24,
+            requests_per_client=150,
+            dataset_size=4000,
+            server_cores=2,  # easy to saturate
+            adaptive=AdaptiveParams(N=8, T=0.9, Inv=0.2e-3),
+            heartbeat_interval=0.2e-3,
+        ))
+        assert result.offload_fraction > 0.05
+        assert result.heartbeats_sent > 0
+
+    def test_catfish_stays_on_fm_when_idle(self):
+        result = run_experiment(small_config(
+            scheme="catfish",
+            n_clients=2,
+            server_cores=8,
+            adaptive=AdaptiveParams(N=8, T=0.95, Inv=0.2e-3),
+            heartbeat_interval=0.2e-3,
+        ))
+        assert result.offload_fraction == 0.0
+
+    def test_hybrid_workload_serves_inserts(self):
+        result = run_experiment(small_config(
+            scheme="catfish",
+            workload_kind="hybrid",
+            insert_fraction=0.2,
+            requests_per_client=50,
+        ))
+        assert result.inserts_served > 0
+        total = 4 * 50
+        assert result.total_requests == total
+
+    def test_hybrid_offloading_sees_torn_reads(self):
+        result = run_experiment(small_config(
+            scheme="rdma-offloading",
+            workload_kind="hybrid",
+            insert_fraction=0.4,
+            n_clients=12,
+            requests_per_client=120,
+            dataset_size=1500,
+            scale="0.01",
+            seed=3,
+        ))
+        assert result.torn_retries > 0
+
+    def test_reproducibility_same_seed(self):
+        a = run_experiment(small_config(scheme="catfish", seed=11))
+        b = run_experiment(small_config(scheme="catfish", seed=11))
+        assert a.throughput_kops == b.throughput_kops
+        assert a.mean_latency_us == b.mean_latency_us
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(small_config(scheme="catfish", seed=11))
+        b = run_experiment(small_config(scheme="catfish", seed=12))
+        assert a.mean_latency_us != b.mean_latency_us
+
+    def test_byte_mode_experiment(self):
+        """Full experiment with real packed-bytes offload reads."""
+        shared = dict(n_clients=6, requests_per_client=40,
+                      dataset_size=2000, max_entries=16, server_cores=4,
+                      seed=7)
+        plain = run_experiment(ExperimentConfig(
+            scheme="rdma-offloading", byte_mode=False, **shared))
+        byte = run_experiment(ExperimentConfig(
+            scheme="rdma-offloading", byte_mode=True, **shared))
+        assert byte.total_requests == plain.total_requests
+        # identical timing model: bytes vs snapshots only change fidelity
+        assert byte.throughput_kops == pytest.approx(
+            plain.throughput_kops, rel=0.05)
+        assert byte.server_cpu_utilization == 0.0
+
+    def test_queries_workload(self):
+        from repro.workloads import generate_rea02, generate_rea02_queries
+        items = generate_rea02(n=3000, subregion_objects=500, seed=2)
+        queries = generate_rea02_queries(20, dataset_size=3000, seed=3)
+        result = run_experiment(small_config(
+            scheme="catfish",
+            workload_kind="queries",
+            queries=queries,
+            dataset=items,
+        ))
+        assert result.total_requests == 80
+
+
+class TestResourceShapes:
+    """The paper's central observations, reproduced in miniature."""
+
+    def test_tcp_40g_beats_1g_only_when_network_bound(self):
+        shared = dict(scheme="tcp", n_clients=16, requests_per_client=30,
+                      dataset_size=3000, max_entries=16, server_cores=28)
+        cpu_1g = run_experiment(ExperimentConfig(
+            fabric="eth-1g", scale="0.00001", **shared))
+        cpu_40g = run_experiment(ExperimentConfig(
+            fabric="eth-40g", scale="0.00001", **shared))
+        # large responses (~67 results each) saturate the 1 GbE link
+        net_1g = run_experiment(ExperimentConfig(
+            fabric="eth-1g", scale="0.3", **shared))
+        net_40g = run_experiment(ExperimentConfig(
+            fabric="eth-40g", scale="0.3", **shared))
+        # network-bound: upgrading the fabric helps a lot
+        net_gain = net_40g.throughput_kops / net_1g.throughput_kops
+        # CPU-bound: upgrading helps much less
+        cpu_gain = cpu_40g.throughput_kops / cpu_1g.throughput_kops
+        assert net_gain > cpu_gain
+
+    def test_offloading_beats_fm_when_cpu_starved(self):
+        shared = dict(fabric="ib-100g", n_clients=16,
+                      requests_per_client=60, dataset_size=3000,
+                      max_entries=16, server_cores=1, scale="0.00001",
+                      seed=5)
+        fm = run_experiment(ExperimentConfig(scheme="fast-messaging",
+                                             **shared))
+        offload = run_experiment(ExperimentConfig(scheme="rdma-offloading",
+                                                  **shared))
+        assert offload.throughput_kops > fm.throughput_kops
+
+    def test_fm_beats_offloading_when_bandwidth_starved(self):
+        # Tiny link: node fetches dwarf the response sizes.
+        shared = dict(n_clients=8, requests_per_client=40,
+                      dataset_size=3000, max_entries=16, server_cores=28,
+                      scale="0.01", seed=6)
+        from repro.net.fabric import IB_100G, PROFILES
+        slow = IB_100G.scaled(name="ib-slow", bandwidth_bps=2e9)
+        PROFILES["ib-slow"] = slow
+        try:
+            fm = run_experiment(ExperimentConfig(
+                scheme="fast-messaging-event", fabric="ib-slow", **shared))
+            offload = run_experiment(ExperimentConfig(
+                scheme="rdma-offloading", fabric="ib-slow", **shared))
+        finally:
+            del PROFILES["ib-slow"]
+        assert fm.throughput_kops > offload.throughput_kops

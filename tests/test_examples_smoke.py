@@ -1,0 +1,44 @@
+"""Smoke tests: the fast examples must run clean end-to-end.
+
+The slower, sweep-style examples (geo_service, hurricane_monitor,
+framework_generality) are exercised by the benchmarks that cover the same
+ground; these three finish in seconds.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+def test_quickstart():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Catfish speedup over fast messaging" in proc.stdout
+    assert "tree height" in proc.stdout
+
+
+def test_adaptive_backoff_demo():
+    proc = run_example("adaptive_backoff_demo.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "SATURATED" in proc.stdout
+    assert "Algorithm 1 in action" in proc.stdout
+
+
+def test_nearest_neighbors():
+    proc = run_example("nearest_neighbors.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "k nearest stations" in proc.stdout
+    assert "count-only" in proc.stdout

@@ -1,0 +1,117 @@
+"""Tests for message types, sizes, and CONT/END segmentation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.msg import (
+    MAX_SEGMENT_PAYLOAD,
+    MSG_HEADER_SIZE,
+    RESULT_SIZE,
+    DeleteRequest,
+    Heartbeat,
+    InsertRequest,
+    ResponseSegment,
+    SearchRequest,
+    message_size,
+    reassemble,
+    segment_results,
+)
+from repro.rtree import Rect
+
+RECT = Rect(0.1, 0.1, 0.2, 0.2)
+
+
+class TestSizes:
+    def test_search_request_size(self):
+        req = SearchRequest(1, RECT)
+        assert req.payload_size() == 40
+        assert message_size(req) == 40 + MSG_HEADER_SIZE
+
+    def test_insert_request_size(self):
+        req = InsertRequest(1, RECT, 7)
+        assert req.payload_size() == 48
+
+    def test_delete_request_size(self):
+        assert DeleteRequest(1, RECT, 7).payload_size() == 48
+
+    def test_heartbeat_size(self):
+        assert Heartbeat(0.5, seq=3).payload_size() == 12
+
+    def test_response_size_scales_with_results(self):
+        empty = ResponseSegment(1, (), last=True)
+        one = ResponseSegment(1, ((RECT, 5),), last=True)
+        assert one.payload_size() - empty.payload_size() == RESULT_SIZE
+
+    def test_response_msg_type_flags(self):
+        from repro.msg import MSG_RESPONSE_CONT, MSG_RESPONSE_END
+        assert ResponseSegment(1, (), last=True).msg_type == MSG_RESPONSE_END
+        assert ResponseSegment(1, (), last=False).msg_type == MSG_RESPONSE_CONT
+
+
+class TestSegmentation:
+    def _results(self, n):
+        return [(RECT, i) for i in range(n)]
+
+    def test_empty_results_single_end_segment(self):
+        segments = segment_results(9, [])
+        assert len(segments) == 1
+        assert segments[0].last
+        assert segments[0].results == ()
+
+    def test_small_result_single_segment(self):
+        segments = segment_results(9, self._results(5))
+        assert len(segments) == 1
+        assert segments[0].last
+        assert len(segments[0].results) == 5
+
+    def test_large_result_is_segmented(self):
+        per_segment = (MAX_SEGMENT_PAYLOAD - 9) // RESULT_SIZE
+        segments = segment_results(9, self._results(per_segment * 3 + 1))
+        assert len(segments) == 4
+        assert all(not s.last for s in segments[:-1])
+        assert segments[-1].last
+
+    def test_every_segment_fits_max_payload(self):
+        segments = segment_results(9, self._results(2000))
+        for seg in segments:
+            assert seg.payload_size() <= MAX_SEGMENT_PAYLOAD
+
+    def test_reassemble_round_trip(self):
+        results = self._results(1234)
+        segments = segment_results(9, results)
+        assert reassemble(segments) == results
+
+    def test_reassemble_rejects_missing_end(self):
+        segments = segment_results(9, self._results(500))
+        broken = segments[:-1]
+        if broken:
+            with pytest.raises(ValueError):
+                reassemble(broken)
+
+    def test_reassemble_rejects_mid_end(self):
+        seg_end = ResponseSegment(1, (), last=True)
+        with pytest.raises(ValueError):
+            reassemble([seg_end, seg_end])
+
+    def test_reassemble_rejects_mixed_req_ids(self):
+        a = ResponseSegment(1, (), last=False)
+        b = ResponseSegment(2, (), last=True)
+        with pytest.raises(ValueError):
+            reassemble([a, b])
+
+    def test_reassemble_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reassemble([])
+
+    def test_ok_flag_propagates(self):
+        segments = segment_results(9, [], ok=False)
+        assert not segments[0].ok
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 3000), st.integers(100, 4096))
+    def test_segmentation_round_trip_property(self, n, max_payload):
+        results = self._results(n)
+        segments = segment_results(5, results, max_payload=max_payload)
+        assert reassemble(segments) == results
+        assert segments[-1].last
+        assert all(not s.last for s in segments[:-1])

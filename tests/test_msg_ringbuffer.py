@@ -1,0 +1,207 @@
+"""Tests for the ring buffer protocol: framing, backpressure, FIFO."""
+
+import pytest
+
+from repro.msg import (
+    MSG_HEADER_SIZE,
+    RingBuffer,
+    RingBufferFullError,
+    SearchRequest,
+    message_size,
+)
+from repro.rtree import Rect
+from repro.sim import Simulator
+
+RECT = Rect(0, 0, 0.1, 0.1)
+
+
+def req(i):
+    return SearchRequest(i, RECT)
+
+
+class TestBasicFlow:
+    def test_send_receive_round_trip(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=1024)
+        got = []
+
+        def sender():
+            message = req(1)
+            yield from ring.reserve(message)
+            ring.deposit(message)
+
+        def receiver():
+            message = yield ring.consume()
+            got.append(message.req_id)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert got == [1]
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=4096)
+        got = []
+
+        def sender():
+            for i in range(5):
+                message = req(i)
+                yield from ring.reserve(message)
+                ring.deposit(message)
+
+        def receiver():
+            for _ in range(5):
+                message = yield ring.consume()
+                got.append(message.req_id)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_space_accounting(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=1024)
+        message = req(1)
+        footprint = message_size(message)
+
+        def sender():
+            yield from ring.reserve(message)
+            assert ring.free_bytes == 1024 - footprint
+            ring.deposit(message)
+
+        sim.process(sender())
+        sim.run()
+        assert ring.used_bytes == footprint  # consumed only on recv
+        _, got = ring.try_consume()
+        assert got is message
+        assert ring.free_bytes == 1024
+
+    def test_backpressure_blocks_until_consume(self):
+        sim = Simulator()
+        message = req(1)
+        footprint = message_size(message)
+        ring = RingBuffer(sim, capacity=footprint + MSG_HEADER_SIZE)
+        times = []
+
+        def sender():
+            for i in range(2):
+                m = req(i)
+                yield from ring.reserve(m)
+                ring.deposit(m)
+                times.append(sim.now)
+
+        def receiver():
+            yield sim.timeout(5.0)
+            yield ring.consume()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert times[0] == 0.0
+        assert times[1] == 5.0
+
+    def test_oversized_message_rejected(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=32)
+
+        def sender():
+            yield from ring.reserve(req(1))  # 48 B > 32 B
+
+        sim.process(sender())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_deposit_without_reservation_rejected(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=1024)
+        with pytest.raises(RingBufferFullError):
+            ring.deposit(req(1))
+
+    def test_capacity_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            RingBuffer(sim, capacity=4)
+
+
+class TestNonBlocking:
+    def test_try_reserve_success_and_failure(self):
+        sim = Simulator()
+        message = req(1)
+        ring = RingBuffer(sim, capacity=message_size(message) + 10)
+        assert ring.try_reserve(message)
+        assert not ring.try_reserve(message)  # no space left
+
+    def test_try_consume_empty(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=1024)
+        found, message = ring.try_consume()
+        assert not found
+        assert message is None
+
+    def test_try_consume_after_deposit(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=1024)
+        message = req(7)
+        assert ring.try_reserve(message)
+        ring.deposit(message)
+        found, got = ring.try_consume()
+        assert found
+        assert got.req_id == 7
+
+
+class TestRdmaTargetProtocol:
+    def test_rdma_write_deposits(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=1024)
+        message = req(3)
+        assert ring.try_reserve(message)
+        ring.rdma_write(0, message_size(message), message, now=0.0)
+        assert ring.pending_messages == 1
+
+    def test_rdma_read_is_forbidden(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=1024)
+        with pytest.raises(NotImplementedError):
+            ring.rdma_read(0, 64, now=0.0)
+
+
+class TestCounters:
+    def test_message_and_byte_counters(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=4096)
+        total = 0
+
+        def sender():
+            nonlocal total
+            for i in range(3):
+                m = req(i)
+                total += message_size(m)
+                yield from ring.reserve(m)
+                ring.deposit(m)
+
+        def receiver():
+            for _ in range(3):
+                yield ring.consume()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert ring.messages_sent == 3
+        assert ring.messages_received == 3
+        assert ring.bytes_sent == total
+
+    def test_high_watermark(self):
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=4096)
+
+        def sender():
+            for i in range(4):
+                m = req(i)
+                yield from ring.reserve(m)
+                ring.deposit(m)
+
+        sim.process(sender())
+        sim.run()
+        assert ring.high_watermark == 4 * message_size(req(0))

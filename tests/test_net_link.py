@@ -1,0 +1,120 @@
+"""Unit tests for the link model: serialization, latency, FIFO queueing."""
+
+import pytest
+
+from repro.net import DuplexLink, Link
+from repro.sim import Simulator
+
+
+def run_transfer(sim, link, nbytes):
+    def proc(sim, link, nbytes):
+        yield from link.transfer(nbytes)
+        return sim.now
+
+    return sim.process(proc(sim, link, nbytes))
+
+
+class TestLink:
+    def test_transfer_time_is_serialization_plus_latency(self):
+        sim = Simulator()
+        # 8 bits/s -> 1 byte/s; latency 2 s
+        link = Link(sim, bandwidth_bps=8.0, latency_s=2.0)
+        p = run_transfer(sim, link, 10)
+        sim.run()
+        assert p.value == pytest.approx(12.0)
+
+    def test_zero_byte_transfer_costs_latency_only(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=8.0, latency_s=2.0)
+        p = run_transfer(sim, link, 0)
+        sim.run()
+        assert p.value == pytest.approx(2.0)
+
+    def test_fifo_queueing(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=8.0, latency_s=0.0)
+        p1 = run_transfer(sim, link, 10)
+        p2 = run_transfer(sim, link, 10)
+        sim.run()
+        assert p1.value == pytest.approx(10.0)
+        assert p2.value == pytest.approx(20.0)
+
+    def test_propagation_pipelines_with_next_serialization(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=8.0, latency_s=5.0)
+        p1 = run_transfer(sim, link, 10)
+        p2 = run_transfer(sim, link, 10)
+        sim.run()
+        # second message starts serializing at t=10, not t=15
+        assert p1.value == pytest.approx(15.0)
+        assert p2.value == pytest.approx(25.0)
+
+    def test_byte_counter(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=1e6, latency_s=0.0)
+        run_transfer(sim, link, 500)
+        run_transfer(sim, link, 300)
+        sim.run()
+        assert link.counter.total_bytes == 800
+        assert link.counter.total_messages == 2
+
+    def test_utilization(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=8.0, latency_s=0.0)  # 1 B/s
+        run_transfer(sim, link, 5)
+        sim.process(_idle(sim, 10.0))
+        sim.run()
+        assert link.utilization() == pytest.approx(0.5)
+
+    def test_negative_size_rejected(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=1e6, latency_s=0.0)
+        with pytest.raises(ValueError):
+            link.serialization_delay(-1)
+
+    def test_constructor_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, bandwidth_bps=0, latency_s=0.0)
+        with pytest.raises(ValueError):
+            Link(sim, bandwidth_bps=1e6, latency_s=-1.0)
+
+    def test_window_bandwidth_bps(self):
+        sim = Simulator()
+        link = Link(sim, bandwidth_bps=1e9, latency_s=0.0)
+
+        def proc(sim, link, out):
+            yield from link.transfer(125)  # 1000 bits
+            # pad to exactly t=1s for a clean window
+            yield sim.timeout(1.0 - sim.now)
+            out.append(link.window_bandwidth_bps())
+
+        out = []
+        sim.process(proc(sim, link, out))
+        sim.run()
+        assert out[0] == pytest.approx(1000.0)
+
+
+def _idle(sim, duration):
+    yield sim.timeout(duration)
+
+
+class TestDuplexLink:
+    def test_directions_are_independent(self):
+        sim = Simulator()
+        duplex = DuplexLink(sim, bandwidth_bps=8.0, latency_s=0.0)
+        p_tx = run_transfer(sim, duplex.tx, 10)
+        p_rx = run_transfer(sim, duplex.rx, 10)
+        sim.run()
+        # Full duplex: both complete at t=10, no mutual queueing.
+        assert p_tx.value == pytest.approx(10.0)
+        assert p_rx.value == pytest.approx(10.0)
+
+    def test_utilization_is_max_of_directions(self):
+        sim = Simulator()
+        duplex = DuplexLink(sim, bandwidth_bps=8.0, latency_s=0.0)
+        run_transfer(sim, duplex.tx, 8)
+        run_transfer(sim, duplex.rx, 2)
+        sim.process(_idle(sim, 10.0))
+        sim.run()
+        assert duplex.utilization() == pytest.approx(0.8)

@@ -1,0 +1,217 @@
+"""Tests for the future-work extensions: predictors and the bandit."""
+
+import random
+
+import pytest
+
+from repro import ExperimentConfig, run_experiment
+from repro.client import (
+    BanditSession,
+    ClientStats,
+    EwmaPredictor,
+    Request,
+    TrendPredictor,
+    make_predictor,
+    most_recent,
+)
+from repro.client.bandit import FAST_MESSAGING, OFFLOADING
+from repro.rtree import Rect
+from repro.sim import Simulator
+
+RECT = Rect(0.1, 0.1, 0.2, 0.2)
+
+
+class TestPredictors:
+    def test_most_recent_is_identity(self):
+        assert most_recent(0.42) == 0.42
+
+    def test_ewma_blends(self):
+        pred = EwmaPredictor(alpha=0.5)
+        assert pred(1.0) == 1.0          # first reading taken as-is
+        assert pred(0.0) == 0.5          # 0.5*0 + 0.5*1
+        assert pred(0.0) == 0.25
+
+    def test_ewma_damps_spikes(self):
+        pred = EwmaPredictor(alpha=0.3)
+        for _ in range(10):
+            pred(0.2)
+        spiked = pred(1.0)
+        assert spiked < 0.5  # a single spike cannot cross a 0.95 threshold
+
+    def test_ewma_validation(self):
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaPredictor(alpha=1.5)
+
+    def test_ewma_reset(self):
+        pred = EwmaPredictor(alpha=0.5)
+        pred(1.0)
+        pred.reset()
+        assert pred(0.4) == 0.4
+
+    def test_trend_extrapolates_rising(self):
+        pred = TrendPredictor(gain=1.0)
+        assert pred(0.5) == 0.5
+        assert pred(0.7) == pytest.approx(0.9)  # 0.7 + (0.7 - 0.5)
+
+    def test_trend_extrapolates_falling(self):
+        pred = TrendPredictor(gain=1.0)
+        pred(0.9)
+        assert pred(0.7) == pytest.approx(0.5)
+
+    def test_trend_clamps(self):
+        pred = TrendPredictor(gain=2.0)
+        pred(0.5)
+        assert pred(0.9) == 1.0
+        pred2 = TrendPredictor(gain=2.0)
+        pred2(0.5)
+        assert pred2(0.1) == 0.0
+
+    def test_trend_validation(self):
+        with pytest.raises(ValueError):
+            TrendPredictor(gain=-1.0)
+
+    def test_registry(self):
+        assert make_predictor("latest") is most_recent
+        assert isinstance(make_predictor("ewma"), EwmaPredictor)
+        assert isinstance(make_predictor("trend"), TrendPredictor)
+        with pytest.raises(KeyError):
+            make_predictor("oracle")
+
+    def test_each_instantiation_is_fresh(self):
+        a = make_predictor("ewma")
+        b = make_predictor("ewma")
+        a(1.0)
+        assert b(0.2) == 0.2  # unaffected by a's state
+
+
+class _FixedLatencyArm:
+    """fm/engine stub with a constant latency per call."""
+
+    def __init__(self, sim, latency):
+        self.sim = sim
+        self.latency = latency
+        self.calls = 0
+
+    def execute(self, request):
+        self.calls += 1
+        yield self.sim.timeout(self.latency)
+        return []
+
+    def search(self, rect):
+        self.calls += 1
+        yield self.sim.timeout(self.latency)
+        return []
+
+
+class TestBanditUnit:
+    def _drive(self, session, sim, n):
+        def proc():
+            for _ in range(n):
+                yield from session.execute(Request("search", RECT))
+
+        done = sim.process(proc())
+        sim.run_until_triggered(done)
+
+    def test_validation(self):
+        sim = Simulator()
+        fm = _FixedLatencyArm(sim, 1e-6)
+        engine = _FixedLatencyArm(sim, 1e-6)
+        with pytest.raises(ValueError):
+            BanditSession(sim, fm, engine, ClientStats(), epsilon=1.5)
+        with pytest.raises(ValueError):
+            BanditSession(sim, fm, engine, ClientStats(), alpha=0.0)
+
+    def test_converges_to_faster_arm(self):
+        sim = Simulator()
+        fm = _FixedLatencyArm(sim, 100e-6)      # slow
+        engine = _FixedLatencyArm(sim, 10e-6)   # fast
+        session = BanditSession(sim, fm, engine, ClientStats(),
+                                epsilon=0.1, rng=random.Random(1))
+        self._drive(session, sim, 200)
+        assert session.mode_counts[OFFLOADING] > \
+            session.mode_counts[FAST_MESSAGING] * 3
+
+    def test_converges_to_fm_when_fm_faster(self):
+        sim = Simulator()
+        fm = _FixedLatencyArm(sim, 10e-6)
+        engine = _FixedLatencyArm(sim, 100e-6)
+        session = BanditSession(sim, fm, engine, ClientStats(),
+                                epsilon=0.1, rng=random.Random(2))
+        self._drive(session, sim, 200)
+        assert session.mode_counts[FAST_MESSAGING] > \
+            session.mode_counts[OFFLOADING] * 3
+
+    def test_explores_both_arms(self):
+        sim = Simulator()
+        fm = _FixedLatencyArm(sim, 10e-6)
+        engine = _FixedLatencyArm(sim, 10e-6)
+        session = BanditSession(sim, fm, engine, ClientStats(),
+                                epsilon=0.3, rng=random.Random(3))
+        self._drive(session, sim, 100)
+        assert session.mode_counts[FAST_MESSAGING] > 0
+        assert session.mode_counts[OFFLOADING] > 0
+        assert session.explorations > 0
+
+    def test_adapts_when_latencies_flip(self):
+        sim = Simulator()
+        fm = _FixedLatencyArm(sim, 10e-6)
+        engine = _FixedLatencyArm(sim, 100e-6)
+        session = BanditSession(sim, fm, engine, ClientStats(),
+                                epsilon=0.15, alpha=0.5,
+                                rng=random.Random(4))
+        self._drive(session, sim, 150)
+        # flip the world: fm becomes slow
+        fm.latency, engine.latency = 100e-6, 10e-6
+        before = dict(session.mode_counts)
+        self._drive(session, sim, 300)
+        offload_delta = session.mode_counts[OFFLOADING] - before[OFFLOADING]
+        fm_delta = session.mode_counts[FAST_MESSAGING] - before[FAST_MESSAGING]
+        assert offload_delta > fm_delta
+
+    def test_writes_bypass_the_bandit(self):
+        sim = Simulator()
+        fm = _FixedLatencyArm(sim, 10e-6)
+        engine = _FixedLatencyArm(sim, 1e-6)
+        session = BanditSession(sim, fm, engine, ClientStats(),
+                                rng=random.Random(5))
+
+        def proc():
+            for i in range(10):
+                yield from session.execute(
+                    Request("insert", RECT, data_id=i))
+
+        done = sim.process(proc())
+        sim.run_until_triggered(done)
+        assert engine.calls == 0
+        assert fm.calls == 10
+
+
+class TestSchemesIntegration:
+    SMALL = dict(n_clients=6, requests_per_client=40, dataset_size=2000,
+                 max_entries=16, server_cores=2,
+                 heartbeat_interval=0.2e-3, seed=3)
+
+    @pytest.mark.parametrize("scheme", [
+        "catfish-ewma", "catfish-trend", "catfish-bandit",
+    ])
+    def test_variant_schemes_run(self, scheme):
+        result = run_experiment(ExperimentConfig(scheme=scheme,
+                                                 **self.SMALL))
+        assert result.total_requests == 6 * 40
+
+    def test_bandit_offloads_under_saturation(self):
+        result = run_experiment(ExperimentConfig(
+            scheme="catfish-bandit",
+            n_clients=24,
+            requests_per_client=150,
+            dataset_size=4000,
+            max_entries=16,
+            server_cores=1,
+            seed=5,
+        ))
+        # With one server core melting, offloading wins and the bandit
+        # learns to use it heavily without any heartbeats.
+        assert result.offload_fraction > 0.5
+        assert result.heartbeats_sent == 0

@@ -1,0 +1,168 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.msg import (
+    MSG_HEADER_SIZE,
+    RingBuffer,
+    SearchRequest,
+    message_size,
+)
+from repro.rtree import Rect, RStarTree, bulk_load
+from repro.sim import Simulator
+
+
+class _SizedMsg:
+    """A message with an arbitrary payload size."""
+
+    def __init__(self, tag, size):
+        self.tag = tag
+        self._size = size
+
+    def payload_size(self):
+        return self._size
+
+
+class TestRingBufferProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 2000), min_size=1, max_size=60),
+           st.integers(2100, 8192))
+    def test_fifo_and_byte_conservation(self, sizes, capacity):
+        """Any message-size sequence: FIFO order holds, all space returns."""
+        sim = Simulator()
+        ring = RingBuffer(sim, capacity=capacity)
+        received = []
+
+        def sender():
+            for i, size in enumerate(sizes):
+                msg = _SizedMsg(i, size)
+                yield from ring.reserve(msg)
+                ring.deposit(msg)
+
+        def receiver():
+            for _ in sizes:
+                msg = yield ring.consume()
+                received.append(msg.tag)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert received == list(range(len(sizes)))
+        assert ring.free_bytes == capacity
+        assert ring.bytes_sent == sum(s + MSG_HEADER_SIZE for s in sizes)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 20), st.integers(0, 10**6))
+    def test_backpressure_never_loses_messages(self, n_messages, seed):
+        """A ring that fits ~2 messages still delivers everything."""
+        sim = Simulator()
+        msg_footprint = message_size(SearchRequest(0, Rect(0, 0, 1, 1)))
+        ring = RingBuffer(sim, capacity=2 * msg_footprint + 1)
+        rng = random.Random(seed)
+        received = []
+
+        def sender():
+            for i in range(n_messages):
+                msg = SearchRequest(i, Rect(0, 0, 1, 1))
+                yield from ring.reserve(msg)
+                ring.deposit(msg)
+
+        def receiver():
+            for _ in range(n_messages):
+                yield sim.timeout(rng.uniform(0, 5e-6))
+                msg = yield ring.consume()
+                received.append(msg.req_id)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert received == list(range(n_messages))
+
+
+class TestTreeEquivalenceProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(10, 300))
+    def test_str_and_rstar_answer_identically(self, seed, n):
+        """Bulk-loaded and incrementally built trees are interchangeable."""
+        rng = random.Random(seed)
+        items = []
+        for i in range(n):
+            x, y = rng.uniform(0, 0.99), rng.uniform(0, 0.99)
+            s = rng.uniform(0, 0.01)
+            items.append((Rect(x, y, x + s, y + s), i))
+        str_tree = bulk_load(items, max_entries=8)
+        rstar = RStarTree(max_entries=8)
+        for rect, i in items:
+            rstar.insert(rect, i)
+        for _ in range(10):
+            qx, qy = rng.uniform(0, 0.9), rng.uniform(0, 0.9)
+            qs = rng.uniform(0, 0.2)
+            query = Rect(qx, qy, qx + qs, qy + qs)
+            assert (sorted(str_tree.search(query).data_ids)
+                    == sorted(rstar.search(query).data_ids))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_search_is_stable_under_reinsertion(self, seed):
+        """Deleting and re-inserting the same data leaves answers intact."""
+        rng = random.Random(seed)
+        items = []
+        for i in range(80):
+            x, y = rng.uniform(0, 0.99), rng.uniform(0, 0.99)
+            s = rng.uniform(0, 0.01)
+            items.append((Rect(x, y, x + s, y + s), i))
+        tree = RStarTree(max_entries=6)
+        for rect, i in items:
+            tree.insert(rect, i)
+        query = Rect(0, 0, 1, 1)
+        before = sorted(tree.search(query).data_ids)
+        for rect, i in items[:40]:
+            assert tree.delete(rect, i).ok
+        for rect, i in items[:40]:
+            tree.insert(rect, i)
+        tree.validate()
+        assert sorted(tree.search(query).data_ids) == before
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.floats(0, 100, allow_nan=False),
+                              st.integers(0, 999)),
+                    min_size=1, max_size=50))
+    def test_events_fire_in_time_order(self, schedule):
+        sim = Simulator()
+        fired = []
+
+        def waiter(delay, tag):
+            yield sim.timeout(delay)
+            fired.append((sim.now, tag))
+
+        for delay, tag in schedule:
+            sim.process(waiter(delay, tag))
+        sim.run()
+        times = [t for t, _tag in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(schedule)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_simulation_is_deterministic(self, seed):
+        """Same seed, same program -> bit-identical event history."""
+        def run_once():
+            sim = Simulator()
+            rng = random.Random(seed)
+            log = []
+
+            def worker(tag):
+                for _ in range(5):
+                    yield sim.timeout(rng.uniform(0, 1))
+                    log.append((sim.now, tag))
+
+            for tag in range(4):
+                sim.process(worker(tag))
+            sim.run()
+            return log
+
+        assert run_once() == run_once()

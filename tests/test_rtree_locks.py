@@ -1,0 +1,208 @@
+"""Tests for the reader-writer lock and the tree lock manager."""
+
+import pytest
+
+from repro.rtree import RWLock, TreeLockManager
+from repro.sim import Simulator
+
+
+def _body(sim, log, tag, hold):
+    log.append((f"{tag}-in", sim.now))
+    yield sim.timeout(hold)
+    log.append((f"{tag}-out", sim.now))
+
+
+class TestRWLock:
+    def test_readers_share(self):
+        sim = Simulator()
+        lock = RWLock(sim)
+        log = []
+
+        def reader(tag):
+            yield from lock.read_locked(_body(sim, log, tag, 5.0))
+
+        sim.process(reader("r1"))
+        sim.process(reader("r2"))
+        sim.run()
+        assert ("r1-in", 0.0) in log
+        assert ("r2-in", 0.0) in log
+
+    def test_writer_excludes_readers(self):
+        sim = Simulator()
+        lock = RWLock(sim)
+        log = []
+
+        def writer():
+            yield from lock.write_locked(_body(sim, log, "w", 5.0))
+
+        def reader():
+            yield sim.timeout(1.0)
+            yield from lock.read_locked(_body(sim, log, "r", 1.0))
+
+        sim.process(writer())
+        sim.process(reader())
+        sim.run()
+        assert log.index(("w-out", 5.0)) < log.index(("r-in", 5.0))
+
+    def test_writers_exclude_each_other(self):
+        sim = Simulator()
+        lock = RWLock(sim)
+        log = []
+
+        def writer(tag):
+            yield from lock.write_locked(_body(sim, log, tag, 3.0))
+
+        sim.process(writer("w1"))
+        sim.process(writer("w2"))
+        sim.run()
+        assert ("w1-out", 3.0) in log
+        assert ("w2-in", 3.0) in log
+
+    def test_writer_preference_blocks_new_readers(self):
+        sim = Simulator()
+        lock = RWLock(sim)
+        log = []
+
+        def reader(tag, start, hold):
+            yield sim.timeout(start)
+            yield from lock.read_locked(_body(sim, log, tag, hold))
+
+        def writer(start):
+            yield sim.timeout(start)
+            yield from lock.write_locked(_body(sim, log, "w", 2.0))
+
+        sim.process(reader("r1", 0.0, 5.0))
+        sim.process(writer(1.0))       # queued behind r1
+        sim.process(reader("r2", 2.0, 1.0))  # must wait for the writer
+        sim.run()
+        # writer enters when r1 leaves; r2 only after the writer
+        assert log.index(("w-in", 5.0)) < log.index(("r2-in", 7.0))
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        lock = RWLock(sim)
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+    def test_lock_released_when_body_fails(self):
+        sim = Simulator()
+        lock = RWLock(sim)
+
+        def failing(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("boom")
+
+        def writer():
+            yield from lock.write_locked(failing(sim))
+
+        sim.process(writer())
+        with pytest.raises(ValueError):
+            sim.run()
+        assert lock.held == "free"
+
+    def test_held_reporting(self):
+        sim = Simulator()
+        lock = RWLock(sim)
+        states = []
+
+        def reader():
+            yield lock.acquire_read()
+            states.append(lock.held)
+            lock.release_read()
+            states.append(lock.held)
+
+        sim.process(reader())
+        sim.run()
+        assert states == ["read(1)", "free"]
+
+    def test_acquisition_counters(self):
+        sim = Simulator()
+        lock = RWLock(sim)
+
+        def work():
+            yield lock.acquire_read()
+            lock.release_read()
+            yield lock.acquire_write()
+            lock.release_write()
+
+        sim.process(work())
+        sim.run()
+        assert lock.read_acquisitions == 1
+        assert lock.write_acquisitions == 1
+
+
+class TestTreeLockManager:
+    def test_locks_created_lazily(self):
+        sim = Simulator()
+        mgr = TreeLockManager(sim)
+        assert mgr.lock_count == 0
+        lock = mgr.lock_for(7)
+        assert mgr.lock_count == 1
+        assert mgr.lock_for(7) is lock
+
+    def test_read_guard_allows_concurrent_searches(self):
+        sim = Simulator()
+        mgr = TreeLockManager(sim)
+        log = []
+
+        def search(tag):
+            yield from mgr.read_guard([1, 2, 3], _body(sim, log, tag, 4.0))
+
+        sim.process(search("s1"))
+        sim.process(search("s2"))
+        sim.run()
+        assert ("s1-in", 0.0) in log
+        assert ("s2-in", 0.0) in log
+
+    def test_write_guard_blocks_overlapping_search(self):
+        sim = Simulator()
+        mgr = TreeLockManager(sim)
+        log = []
+
+        def insert():
+            yield from mgr.write_guard([2], _body(sim, log, "w", 5.0))
+
+        def search():
+            yield sim.timeout(1.0)
+            yield from mgr.read_guard([1, 2], _body(sim, log, "s", 1.0))
+
+        sim.process(insert())
+        sim.process(search())
+        sim.run()
+        assert log.index(("w-out", 5.0)) < log.index(("s-in", 5.0))
+
+    def test_disjoint_chunks_do_not_block(self):
+        sim = Simulator()
+        mgr = TreeLockManager(sim)
+        log = []
+
+        def insert(tag, chunks):
+            yield from mgr.write_guard(chunks, _body(sim, log, tag, 5.0))
+
+        sim.process(insert("w1", [1, 2]))
+        sim.process(insert("w2", [3, 4]))
+        sim.run()
+        assert ("w1-in", 0.0) in log
+        assert ("w2-in", 0.0) in log
+
+    def test_sorted_acquisition_avoids_deadlock(self):
+        sim = Simulator()
+        mgr = TreeLockManager(sim)
+        done = []
+
+        def insert(tag, chunks):
+            yield from mgr.write_guard(chunks, _noop(sim))
+            done.append(tag)
+
+        # Opposite declaration orders; sorted acquisition must not deadlock.
+        for i in range(20):
+            sim.process(insert(f"a{i}", [1, 2, 3]))
+            sim.process(insert(f"b{i}", [3, 2, 1]))
+        sim.run()
+        assert len(done) == 40
+
+
+def _noop(sim):
+    yield sim.timeout(0.1)

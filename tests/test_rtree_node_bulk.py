@@ -1,0 +1,184 @@
+"""Tests for node structure and STR bulk loading."""
+
+import random
+
+import pytest
+
+from repro.rtree import (
+    DEFAULT_MAX_ENTRIES,
+    Entry,
+    Node,
+    RStarTree,
+    Rect,
+    bulk_load,
+    min_entries,
+)
+
+
+def random_items(n, seed=0, max_edge=0.01):
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        w, h = rng.uniform(0, max_edge), rng.uniform(0, max_edge)
+        x, y = rng.uniform(0, 1 - w), rng.uniform(0, 1 - h)
+        items.append((Rect(x, y, x + w, y + h), i))
+    return items
+
+
+class TestNode:
+    def test_leaf_flags(self):
+        assert Node(0).is_leaf
+        assert not Node(1).is_leaf
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            Node(-1)
+
+    def test_entry_needs_exactly_one_ref(self):
+        with pytest.raises(ValueError):
+            Entry(Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            Entry(Rect(0, 0, 1, 1), child=Node(0), data_id=1)
+
+    def test_add_sets_parent(self):
+        parent = Node(1)
+        child = Node(0)
+        parent.add(Entry(Rect(0, 0, 1, 1), child=child))
+        assert child.parent is parent
+
+    def test_add_wrong_level_child(self):
+        parent = Node(2)
+        with pytest.raises(ValueError):
+            parent.add(Entry(Rect(0, 0, 1, 1), child=Node(0)))
+
+    def test_add_data_to_internal_rejected(self):
+        node = Node(1)
+        with pytest.raises(ValueError):
+            node.add(Entry(Rect(0, 0, 1, 1), data_id=5))
+
+    def test_mbr(self):
+        node = Node(0)
+        node.add(Entry(Rect(0, 0, 1, 1), data_id=1))
+        node.add(Entry(Rect(2, 2, 3, 4), data_id=2))
+        assert node.mbr() == Rect(0, 0, 3, 4)
+
+    def test_mbr_empty_raises(self):
+        with pytest.raises(ValueError):
+            Node(0).mbr()
+
+    def test_remove_clears_parent(self):
+        parent = Node(1)
+        child = Node(0)
+        entry = Entry(Rect(0, 0, 1, 1), child=child)
+        parent.add(entry)
+        parent.remove(entry)
+        assert child.parent is None
+
+    def test_entry_for_child_missing(self):
+        with pytest.raises(KeyError):
+            Node(1).entry_for_child(Node(0))
+
+    def test_write_window_versioning(self):
+        node = Node(0)
+        v0 = node.version
+        node.begin_write()
+        assert node.active_writers == 1
+        node.end_write()
+        assert node.version == v0 + 1
+        assert node.active_writers == 0
+
+    def test_end_write_without_begin(self):
+        with pytest.raises(RuntimeError):
+            Node(0).end_write()
+
+    def test_min_entries_formula(self):
+        assert min_entries(64) == 25
+        assert min_entries(4) == 2
+        assert min_entries(5) == 2
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = bulk_load([])
+        assert tree.size == 0
+        assert tree.search(Rect(0, 0, 1, 1)).data_ids == []
+
+    def test_single_item(self):
+        tree = bulk_load([(Rect(0.1, 0.1, 0.2, 0.2), 7)])
+        assert tree.size == 1
+        assert tree.search(Rect(0, 0, 1, 1)).data_ids == [7]
+
+    @pytest.mark.parametrize("n", [10, 100, 1000])
+    def test_search_equals_brute_force(self, n):
+        items = random_items(n, seed=n)
+        tree = bulk_load(items, max_entries=16)
+        rng = random.Random(n + 1)
+        for _ in range(20):
+            s = rng.uniform(0, 0.3)
+            x, y = rng.uniform(0, 1 - s), rng.uniform(0, 1 - s)
+            query = Rect(x, y, x + s, y + s)
+            expected = sorted(i for r, i in items if r.intersects(query))
+            assert sorted(tree.search(query).data_ids) == expected
+
+    def test_structure_is_valid(self):
+        tree = bulk_load(random_items(3000, seed=5), max_entries=32)
+        tree.validate()
+
+    def test_height_near_optimal(self):
+        items = random_items(4000, seed=6)
+        tree = bulk_load(items, max_entries=16, fill=0.9)
+        # ceil(log_14.4(4000/14.4)) + 1 ~ 3
+        assert tree.height <= 4
+
+    def test_fill_validation(self):
+        with pytest.raises(ValueError):
+            bulk_load(random_items(10), fill=0.05)
+        with pytest.raises(ValueError):
+            bulk_load(random_items(10), fill=1.2)
+
+    def test_inserts_after_bulk_load(self):
+        items = random_items(500, seed=8)
+        tree = bulk_load(items, max_entries=16)
+        extra = random_items(100, seed=9)
+        for rect, i in extra:
+            tree.insert(rect, 1000 + i)
+        tree.validate()
+        hit = tree.search(Rect(0, 0, 1, 1))
+        assert len(hit.data_ids) == 600
+
+    def test_deletes_after_bulk_load(self):
+        items = random_items(300, seed=10)
+        tree = bulk_load(items, max_entries=8)
+        for rect, i in items[:150]:
+            assert tree.delete(rect, i).ok
+        tree.validate()
+        assert tree.size == 150
+
+    def test_bulk_uses_custom_allocator(self):
+        allocated = []
+
+        def alloc():
+            cid = len(allocated)
+            allocated.append(cid)
+            return cid
+
+        tree = bulk_load(random_items(200, seed=11), max_entries=8,
+                         alloc_chunk=alloc)
+        assert len(allocated) >= tree.node_count
+
+    def test_quality_comparable_to_incremental(self):
+        """STR trees should not visit wildly more nodes than R* trees."""
+        items = random_items(2000, seed=12)
+        str_tree = bulk_load(items, max_entries=16)
+        rstar = RStarTree(max_entries=16)
+        for rect, i in items:
+            rstar.insert(rect, i)
+        rng = random.Random(13)
+        str_visits = rstar_visits = 0
+        for _ in range(30):
+            s = 0.05
+            x, y = rng.uniform(0, 1 - s), rng.uniform(0, 1 - s)
+            q = Rect(x, y, x + s, y + s)
+            str_visits += str_tree.search(q).nodes_visited
+            rstar_visits += rstar.search(q).nodes_visited
+        assert str_visits < rstar_visits * 3

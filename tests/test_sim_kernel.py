@@ -1,0 +1,455 @@
+"""Unit tests for the DES kernel (events, processes, composites)."""
+
+import pytest
+
+from repro.sim import (
+    Interrupt,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(5.0)
+        return sim.now
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value == 5.0
+    assert sim.now == 5.0
+
+
+def test_zero_delay_timeout_runs_at_same_instant():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(0.0)
+        seen.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [0.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        value = yield sim.timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_process_return_value_via_yield():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(3.0)
+        return 42
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return result * 2
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == 84
+
+
+def test_events_process_in_fifo_order_at_same_time():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ["a", "b", "c"]:
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter(sim, ev):
+        value = yield ev
+        got.append((sim.now, value))
+
+    def trigger(sim, ev):
+        yield sim.timeout(2.0)
+        ev.succeed("done")
+
+    sim.process(waiter(sim, ev))
+    sim.process(trigger(sim, ev))
+    sim.run()
+    assert got == [(2.0, "done")]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim, ev))
+    ev.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_surfaces_from_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("exploded")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="exploded"):
+        sim.run()
+
+
+def test_waited_on_process_exception_propagates_to_parent():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("inner")
+
+    def parent(sim):
+        try:
+            yield sim.process(bad(sim))
+        except ValueError:
+            return "handled"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_yield_non_event_is_an_error():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="not an Event"):
+        sim.run()
+
+
+def test_run_until_stops_clock_at_until():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100.0)
+
+    sim.process(proc(sim))
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_run_until_triggered_returns_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(7.0)
+        return "finished"
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_triggered(p) == "finished"
+    assert sim.now == 7.0
+
+
+def test_run_until_triggered_detects_starvation():
+    sim = Simulator()
+    ev = sim.event()  # never triggered
+    with pytest.raises(SimulationError, match="drained"):
+        sim.run_until_triggered(ev)
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as exc:
+            log.append((sim.now, exc.cause))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(3.0)
+        victim.interrupt(cause="wake-up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [(3.0, "wake-up")]
+
+
+def test_interrupt_dead_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_is_alive_transitions():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(2.0)
+
+    p = sim.process(proc(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+
+    def child(sim, delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def parent(sim):
+        procs = [
+            sim.process(child(sim, 3.0, "slow")),
+            sim.process(child(sim, 1.0, "fast")),
+        ]
+        values = yield all_of(sim, procs)
+        return values
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == ["slow", "fast"]
+    assert sim.now == 3.0
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+
+    def parent(sim):
+        values = yield all_of(sim, [])
+        return (sim.now, values)
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == (0.0, [])
+
+
+def test_all_of_propagates_failure():
+    sim = Simulator()
+
+    def ok(sim):
+        yield sim.timeout(1.0)
+
+    def bad(sim):
+        yield sim.timeout(2.0)
+        raise RuntimeError("child failed")
+
+    def parent(sim):
+        try:
+            yield all_of(sim, [sim.process(ok(sim)), sim.process(bad(sim))])
+        except RuntimeError:
+            return "caught"
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_any_of_returns_first_with_index():
+    sim = Simulator()
+
+    def child(sim, delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    def parent(sim):
+        procs = [
+            sim.process(child(sim, 5.0, "slow")),
+            sim.process(child(sim, 2.0, "fast")),
+        ]
+        index, value = yield any_of(sim, procs)
+        return (sim.now, index, value)
+
+    p = sim.process(parent(sim))
+    sim.run()
+    assert p.value == (2.0, 1, "fast")
+
+
+def test_any_of_empty_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        any_of(sim, [])
+
+
+def test_nested_processes_three_deep():
+    sim = Simulator()
+
+    def leaf(sim):
+        yield sim.timeout(1.0)
+        return 1
+
+    def middle(sim):
+        value = yield sim.process(leaf(sim))
+        yield sim.timeout(1.0)
+        return value + 1
+
+    def root(sim):
+        value = yield sim.process(middle(sim))
+        return value + 1
+
+    p = sim.process(root(sim))
+    sim.run()
+    assert p.value == 3
+    assert sim.now == 2.0
+
+
+def test_yielding_already_processed_event_resumes_immediately():
+    sim = Simulator()
+
+    def proc(sim, ev):
+        yield sim.timeout(5.0)
+        value = yield ev  # triggered long ago
+        return (sim.now, value)
+
+    ev = sim.event()
+    ev.succeed("early")
+    p = sim.process(proc(sim, ev))
+    sim.run()
+    assert p.value == (5.0, "early")
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    sim.timeout(4.0)
+    assert sim.peek == 4.0
+    sim2 = Simulator()
+    assert sim2.peek == float("inf")
+
+
+def test_step_on_empty_queue_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_interrupt_delivered_inside_resource_wait():
+    """Interrupting a process waiting on a resource releases cleanly."""
+    from repro.sim import Resource
+
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    outcome = []
+
+    def holder(sim, res):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(100.0)
+
+    def waiter(sim, res):
+        req = res.request()
+        try:
+            yield req
+        except Interrupt:
+            req.release()  # cancel the queued claim
+            outcome.append("interrupted")
+
+    def interrupter(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt()
+
+    sim.process(holder(sim, res))
+    victim = sim.process(waiter(sim, res))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert outcome == ["interrupted"]
+    assert res.queue_length == 0
+
+
+def test_process_finishing_at_same_instant_as_interrupt():
+    """An interrupt scheduled for the instant a process dies must not
+    crash the kernel (the stale wake-up is discarded)."""
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    def interrupter(sim, victim):
+        yield sim.timeout(1.0)
+        if victim.is_alive:
+            victim.interrupt()
+
+    victim = sim.process(quick(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()  # must simply not raise
+    assert not victim.is_alive
+
+
+def test_event_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_many_processes_scale():
+    sim = Simulator()
+    done = []
+
+    def proc(sim, i):
+        yield sim.timeout(float(i % 17))
+        done.append(i)
+
+    for i in range(1000):
+        sim.process(proc(sim, i))
+    sim.run()
+    assert len(done) == 1000

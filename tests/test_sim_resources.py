@@ -1,0 +1,284 @@
+"""Unit tests for Resource / Store / Container primitives."""
+
+import pytest
+
+from repro.sim import BoundedStore, Container, Resource, Simulator, Store
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    grants = []
+
+    def user(sim, res, tag, hold):
+        with res.request() as req:
+            yield req
+            grants.append((tag, sim.now))
+            yield sim.timeout(hold)
+
+    sim.process(user(sim, res, "a", 10.0))
+    sim.process(user(sim, res, "b", 10.0))
+    sim.process(user(sim, res, "c", 10.0))
+    sim.run()
+    assert grants == [("a", 0.0), ("b", 0.0), ("c", 10.0)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(sim, res, tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield sim.timeout(1.0)
+
+    for tag in "abcd":
+        sim.process(user(sim, res, tag))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_resource_counts_and_queue_length():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder(sim, res):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(5.0)
+
+    def observer(sim, res, samples):
+        yield sim.timeout(1.0)
+        samples.append((res.count, res.queue_length))
+
+    samples = []
+    sim.process(holder(sim, res))
+    sim.process(holder(sim, res))
+    sim.process(observer(sim, res, samples))
+    sim.run()
+    assert samples == [(1, 1)]
+
+
+def test_resource_release_idempotent():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user(sim, res):
+        req = res.request()
+        yield req
+        req.release()
+        req.release()  # second release is a no-op
+
+    sim.process(user(sim, res))
+    sim.run()
+    assert res.count == 0
+
+
+def test_resource_cancel_waiting_request():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    granted = []
+
+    def holder(sim, res):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(10.0)
+
+    def impatient(sim, res):
+        req = res.request()  # queued behind holder
+        yield sim.timeout(1.0)
+        req.release()  # give up before being granted
+
+    def patient(sim, res):
+        with res.request() as req:
+            yield req
+            granted.append(sim.now)
+
+    sim.process(holder(sim, res))
+    sim.process(impatient(sim, res))
+    sim.process(patient(sim, res))
+    sim.run()
+    # patient gets the slot as soon as holder releases, impatient never did
+    assert granted == [10.0]
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim, store):
+        yield sim.timeout(1.0)
+        yield store.put("x")
+
+    def consumer(sim, store):
+        item = yield store.get()
+        got.append((sim.now, item))
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [(1.0, "x")]
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim, store):
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer(sim, store):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_multiple_getters_fifo():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim, store, tag):
+        item = yield store.get()
+        got.append((tag, item))
+
+    def producer(sim, store):
+        yield sim.timeout(1.0)
+        yield store.put("first")
+        yield store.put("second")
+
+    sim.process(consumer(sim, store, "c1"))
+    sim.process(consumer(sim, store, "c2"))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert got == [("c1", "first"), ("c2", "second")]
+
+
+def test_store_len():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer(sim, store):
+        yield store.put(1)
+        yield store.put(2)
+
+    sim.process(producer(sim, store))
+    sim.run()
+    assert len(store) == 2
+
+
+def test_store_get_cancel():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def canceller(sim, store):
+        get = store.get()
+        yield sim.timeout(1.0)
+        get.cancel()
+
+    def consumer(sim, store):
+        yield sim.timeout(2.0)
+        item = yield store.get()
+        got.append(item)
+
+    def producer(sim, store):
+        yield sim.timeout(3.0)
+        yield store.put("only")
+
+    sim.process(canceller(sim, store))
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    # The cancelled getter must not swallow the item.
+    assert got == ["only"]
+
+
+def test_bounded_store_blocks_put_when_full():
+    sim = Simulator()
+    store = BoundedStore(sim, capacity=1)
+    times = []
+
+    def producer(sim, store):
+        yield store.put("a")
+        times.append(("put-a", sim.now))
+        yield store.put("b")
+        times.append(("put-b", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(5.0)
+        yield store.get()
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert times == [("put-a", 0.0), ("put-b", 5.0)]
+
+
+def test_container_get_blocks_until_level():
+    sim = Simulator()
+    tank = Container(sim, capacity=100.0, init=0.0)
+    got = []
+
+    def consumer(sim, tank):
+        yield tank.get(10.0)
+        got.append(sim.now)
+
+    def producer(sim, tank):
+        yield sim.timeout(1.0)
+        yield tank.put(4.0)
+        yield sim.timeout(1.0)
+        yield tank.put(6.0)
+
+    sim.process(consumer(sim, tank))
+    sim.process(producer(sim, tank))
+    sim.run()
+    assert got == [2.0]
+    assert tank.level == 0.0
+
+
+def test_container_put_blocks_at_capacity():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=10.0)
+    done = []
+
+    def producer(sim, tank):
+        yield tank.put(5.0)
+        done.append(sim.now)
+
+    def consumer(sim, tank):
+        yield sim.timeout(3.0)
+        yield tank.get(5.0)
+
+    sim.process(producer(sim, tank))
+    sim.process(consumer(sim, tank))
+    sim.run()
+    assert done == [3.0]
+    assert tank.level == 10.0
+
+
+def test_container_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Container(sim, capacity=5.0, init=6.0)
+    tank = Container(sim, capacity=5.0)
+    with pytest.raises(ValueError):
+        tank.get(0.0)
+    with pytest.raises(ValueError):
+        tank.put(-1.0)

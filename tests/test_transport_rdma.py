@@ -1,0 +1,333 @@
+"""Unit tests for the RDMA verbs model."""
+
+import pytest
+
+from repro.hw import Host, MemoryError_
+from repro.net import IB_100G, Network
+from repro.sim import Simulator
+from repro.transport import (
+    READ,
+    RECV_IMM,
+    WRITE,
+    WRITE_IMM,
+    CompletionChannel,
+    RdmaError,
+    connect,
+)
+
+
+class FakeMemoryTarget:
+    """Minimal rdma_read/rdma_write target for transport tests."""
+
+    def __init__(self):
+        self.cells = {}
+        self.write_log = []
+        self.read_log = []
+
+    def rdma_write(self, address, length, payload, now):
+        self.cells[address] = payload
+        self.write_log.append((address, length, payload, now))
+
+    def rdma_read(self, address, length, now):
+        self.read_log.append((address, length, now))
+        return self.cells.get(address, b"\x00" * length)
+
+
+def make_rdma_pair():
+    sim = Simulator()
+    net = Network(sim, IB_100G)
+    server = Host(sim, "server", IB_100G)
+    client = Host(sim, "client", IB_100G, cores=2)
+    net.attach_server(server)
+    region = server.memory.register(1 << 20, name="test")
+    target = FakeMemoryTarget()
+    server.memory.bind(region.rkey, target)
+    client_qp, server_qp = connect(sim, net, client, server)
+    return sim, net, server, client, region, target, client_qp, server_qp
+
+
+def test_write_lands_at_remote_target():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        yield cqp.post_write(region.rkey, region.base, b"hello", 5)
+
+    sim.process(proc())
+    sim.run()
+    assert target.cells[region.base] == b"hello"
+
+
+def test_write_completion_opcode():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        wc = yield cqp.post_write(region.rkey, region.base, b"x", 1)
+        return wc.opcode
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == WRITE
+    assert len(cqp.cq) == 1  # the signaled completion is also in the CQ
+
+
+def test_unsignaled_write_skips_local_cq():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        yield cqp.post_write(region.rkey, region.base, b"x", 1,
+                             signaled=False)
+
+    sim.process(proc())
+    sim.run()
+    assert len(cqp.cq) == 0
+
+
+def test_write_with_imm_notifies_remote_cq():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def client_proc():
+        wc = yield cqp.post_write(region.rkey, region.base, b"req", 3,
+                                  imm=77)
+        return wc.opcode
+
+    def server_proc():
+        wc = yield sqp.cq.wait()
+        return (wc.opcode, wc.imm, wc.length)
+
+    p_client = sim.process(client_proc())
+    p_server = sim.process(server_proc())
+    sim.run()
+    assert p_client.value == WRITE_IMM
+    assert p_server.value == (RECV_IMM, 77, 3)
+
+
+def test_plain_write_does_not_notify_remote():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        yield cqp.post_write(region.rkey, region.base, b"silent", 6)
+
+    sim.process(proc())
+    sim.run()
+    assert len(sqp.cq) == 0
+
+
+def test_imm_write_wakes_completion_channel():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+    channel = CompletionChannel(sim)
+    sqp.cq.attach_channel(channel)
+    woken = []
+
+    def server_proc():
+        yield channel.wait()
+        woken.append(sim.now)
+
+    def client_proc():
+        yield cqp.post_write(region.rkey, region.base, b"r", 1, imm=1)
+
+    sim.process(server_proc())
+    sim.process(client_proc())
+    sim.run()
+    assert len(woken) == 1
+    assert channel.wakeups == 1
+
+
+def test_read_returns_remote_data():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+    target.cells[region.base + 64] = b"node-bytes"
+
+    def proc():
+        data = yield cqp.post_read(region.rkey, region.base + 64, 10)
+        return data
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == b"node-bytes"
+
+
+def test_read_consumes_zero_remote_cpu():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        for _ in range(50):
+            yield cqp.post_read(region.rkey, region.base, 4096)
+
+    sim.process(proc())
+    sim.run()
+    assert server.cpu.total_work_seconds == 0.0
+    assert server.cpu.utilization() == 0.0
+
+
+def test_write_consumes_zero_remote_cpu():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        for _ in range(50):
+            yield cqp.post_write(region.rkey, region.base, b"x" * 256, 256,
+                                 imm=1)
+
+    sim.process(proc())
+    sim.run()
+    assert server.cpu.total_work_seconds == 0.0
+
+
+def test_read_latency_exceeds_write_latency():
+    """RDMA Read needs a full round trip; Write completes one-way faster
+    at the remote (paper Fig 9a shows Read > Write for small sizes)."""
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def write_then_read():
+        t0 = sim.now
+        yield cqp.post_write(region.rkey, region.base, b"x", 8)
+        write_rtt = sim.now - t0
+        t1 = sim.now
+        yield cqp.post_read(region.rkey, region.base, 8)
+        read_rtt = sim.now - t1
+        return write_rtt, read_rtt
+
+    p = sim.process(write_then_read())
+    sim.run()
+    write_rtt, read_rtt = p.value
+    assert read_rtt > 0
+    # Data lands at the remote after ~one-way for writes; the ACK overlaps
+    # nothing here so compare the remote-visible latency instead:
+    data_landing = target.write_log[0][3]
+    assert data_landing < read_rtt
+
+
+def test_small_write_latency_is_microseconds():
+    """Calibration: small RDMA Write lands in ~1-3 us (paper Fig 9)."""
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        yield cqp.post_write(region.rkey, region.base, b"y" * 16, 16)
+
+    sim.process(proc())
+    sim.run()
+    landing = target.write_log[0][3]
+    assert 0.5e-6 < landing < 3e-6
+
+
+def test_read_out_of_bounds_fails():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        try:
+            yield cqp.post_read(region.rkey, region.end, 64)
+        except MemoryError_:
+            return "fault"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "fault"
+
+
+def test_write_bad_rkey_fails():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        try:
+            yield cqp.post_write(999, region.base, b"x", 1)
+        except MemoryError_:
+            return "fault"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "fault"
+
+
+def test_unbound_region_read_fails():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+    bare = server.memory.register(4096, name="unbound")
+
+    def proc():
+        try:
+            yield cqp.post_read(bare.rkey, bare.base, 8)
+        except RdmaError:
+            return "no-target"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "no-target"
+
+
+def test_posting_on_destroyed_qp_raises():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+    cqp.destroy()
+    with pytest.raises(RdmaError):
+        cqp.post_write(region.rkey, region.base, b"x", 1)
+
+
+def test_outstanding_read_limit_serializes_excess():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+    limit = client.nic.max_outstanding_reads
+    n = limit + 4
+
+    def proc():
+        events = [
+            cqp.post_read(region.rkey, region.base, 64) for _ in range(n)
+        ]
+        for ev in events:
+            yield ev
+
+    sim.process(proc())
+    sim.run()
+    assert len(target.read_log) == n
+    # snapshot times: the first `limit` can be concurrent, the rest later
+    times = sorted(t for _a, _l, t in target.read_log)
+    assert times[-1] > times[0]
+
+
+def test_counters_track_traffic():
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+
+    def proc():
+        yield cqp.post_write(region.rkey, region.base, b"abc", 3)
+        yield cqp.post_read(region.rkey, region.base, 128)
+
+    sim.process(proc())
+    sim.run()
+    assert cqp.writes_posted == 1
+    assert cqp.reads_posted == 1
+    assert cqp.bytes_written == 3
+    assert cqp.bytes_read == 128
+
+
+def test_concurrent_reads_pipeline():
+    """Multi-issue foundation: k concurrent reads finish much faster than
+    k sequential reads (paper Fig 8)."""
+    sim, net, server, client, region, target, cqp, sqp = make_rdma_pair()
+    k = 8
+
+    def sequential():
+        t0 = sim.now
+        for _ in range(k):
+            yield cqp.post_read(region.rkey, region.base, 4096)
+        return sim.now - t0
+
+    def concurrent():
+        t0 = sim.now
+        events = [cqp.post_read(region.rkey, region.base, 4096)
+                  for _ in range(k)]
+        for ev in events:
+            yield ev
+        return sim.now - t0
+
+    p_seq = sim.process(sequential())
+    sim.run()
+    seq_time = p_seq.value
+
+    sim2, net2, server2, client2, region2, target2, cqp2, sqp2 = make_rdma_pair()
+
+    def concurrent2():
+        t0 = sim2.now
+        events = [cqp2.post_read(region2.rkey, region2.base, 4096)
+                  for _ in range(k)]
+        for ev in events:
+            yield ev
+        return sim2.now - t0
+
+    p_con = sim2.process(concurrent2())
+    sim2.run()
+    con_time = p_con.value
+    assert con_time < seq_time * 0.6
