@@ -107,6 +107,10 @@ def scale_spec(paper_label: str, dataset_size: int) -> str:
 _dataset_cache: Dict[Tuple[int, int], list] = {}
 _result_cache: Dict[tuple, RunResult] = {}
 
+#: Every distinct run's metrics document, in run order; flushed to one
+#: JSON artifact at session end (see pytest_sessionfinish).
+_metrics_log: List[dict] = []
+
 
 def shared_dataset(size: int, seed: int = 0) -> list:
     key = (size, seed)
@@ -163,7 +167,25 @@ def run_point(
     )
     result = run_experiment(config)
     _result_cache[key] = result
+    if result.metrics:
+        _metrics_log.append(result.metrics)
     return result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush every run's metrics document to one JSON artifact.
+
+    Default path: ``BENCH_metrics.json`` in the invocation directory;
+    override with ``CATFISH_METRICS_OUT`` (empty string disables).
+    """
+    if not _metrics_log:
+        return
+    path = os.environ.get("CATFISH_METRICS_OUT", "BENCH_metrics.json")
+    if not path:
+        return
+    from repro.obs import write_metrics_json
+    write_metrics_json(path, _metrics_log)
+    print(f"\n[catfish] {len(_metrics_log)} run metrics -> {path}")
 
 
 def print_figure(title: str, headers: List[str],

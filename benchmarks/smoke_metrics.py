@@ -1,0 +1,92 @@
+"""Smoke check for the metrics export pipeline.
+
+Runs one short adaptive experiment end to end, writes the
+``catfish-metrics/v1`` artifact, reads it back and asserts the fields
+every downstream consumer (figure scripts, CI dashboards) depends on:
+non-zero request counts, latency percentiles and heartbeat stats.
+
+Usable both ways::
+
+    PYTHONPATH=src python benchmarks/smoke_metrics.py [out.json]
+    PYTHONPATH=src python -m pytest benchmarks/smoke_metrics.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+from repro import ExperimentConfig, load_metrics_json, run_experiment
+from repro.obs import SCHEMA, write_metrics_json
+
+
+def run_smoke(path: str) -> dict:
+    """Run a short catfish experiment and round-trip its metrics JSON."""
+    result = run_experiment(ExperimentConfig(
+        scheme="catfish",
+        fabric="ib-100g",
+        n_clients=4,
+        requests_per_client=100,
+        workload_kind="hybrid",
+        dataset_size=5_000,
+        heartbeat_interval=0.1e-3,
+        collect_timeline=True,
+        trace=True,
+        seed=1,
+    ))
+    write_metrics_json(path, result.metrics)
+    return load_metrics_json(path)
+
+
+def check_document(doc: dict) -> None:
+    assert doc["schema"] == SCHEMA, doc.get("schema")
+    metrics = doc["metrics"]
+
+    # Request counters: every request accounted for, none lost.
+    requests = metrics["client.requests_sent"]["value"]
+    assert requests == 400, requests
+    split = (metrics["client.fast_messaging_requests"]["value"]
+             + metrics["client.offloaded_requests"]["value"])
+    assert split == requests, (split, requests)
+
+    # Latency percentiles present, positive and ordered.
+    lat = metrics["client.latency_us"]
+    assert lat["count"] == requests
+    assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"], lat
+
+    # Heartbeat stats: the service ran and clients consumed beats.
+    assert metrics["heartbeat.beats_sent"]["value"] > 0
+    assert metrics["adaptive.heartbeats_consumed"]["value"] > 0
+
+    # Server-side accounting and the sim-clock series.
+    assert metrics["server.requests_handled"]["value"] > 0
+    assert len(metrics["series.cpu_utilization"]["points"]) > 0
+
+    # Trace spans were recorded and bounded-ring accounting holds.
+    trace = doc["trace"]
+    assert trace["total_events"] > 0
+    assert trace["dropped_events"] >= 0
+    assert trace["events"], "trace events truncated to nothing"
+
+
+def test_metrics_smoke(tmp_path):
+    doc = run_smoke(str(tmp_path / "metrics.json"))
+    check_document(doc)
+
+
+def main(argv) -> int:
+    if len(argv) > 1:
+        path = argv[1]
+    else:
+        path = os.path.join(tempfile.gettempdir(), "catfish_smoke.json")
+    doc = run_smoke(path)
+    check_document(doc)
+    n = len(doc["metrics"])
+    print(f"ok: {n} metrics, {doc['trace']['total_events']} trace events "
+          f"-> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

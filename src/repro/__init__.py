@@ -12,7 +12,9 @@ simulation substrate (see DESIGN.md for the substitution rationale):
   offloading, and the adaptive Catfish client (Algorithm 1);
 * :mod:`repro.workloads` — the paper's workload generators, including a
   synthetic rea02;
-* :mod:`repro.cluster` — experiment assembly and metrics.
+* :mod:`repro.cluster` — experiment assembly and metrics;
+* :mod:`repro.obs` — metrics registry, trace spans and JSON export
+  (see docs/observability.md).
 
 Quickstart::
 
@@ -43,6 +45,13 @@ from .cluster import (
     SCHEMES,
     run_experiment,
     scheme_spec,
+)
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    load_metrics_json,
+    snapshot_document,
+    write_metrics_json,
 )
 from .rtree import RStarTree, Rect, bulk_load
 from .server import (
@@ -77,6 +86,11 @@ __all__ = [
     "SCHEMES",
     "run_experiment",
     "scheme_spec",
+    "MetricsRegistry",
+    "Tracer",
+    "load_metrics_json",
+    "snapshot_document",
+    "write_metrics_json",
     "RStarTree",
     "Rect",
     "bulk_load",

@@ -44,6 +44,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--adaptive-t", type=float, default=0.95,
                         help="Algorithm 1 busy threshold T")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the catfish-metrics/v1 JSON snapshot "
+                             "(all runs of this command) to PATH")
+    parser.add_argument("--trace", action="store_true",
+                        help="record per-request spans in the metrics "
+                             "snapshot (implies --metrics-out usefulness)")
 
 
 def _config_from(args, scheme: str) -> ExperimentConfig:
@@ -62,7 +68,23 @@ def _config_from(args, scheme: str) -> ExperimentConfig:
                                 Inv=heartbeat),
         seed=args.seed,
         collect_timeline=getattr(args, "timeline", False),
+        trace=getattr(args, "trace", False),
     )
+
+
+def _write_metrics(args, documents: List[dict]) -> None:
+    """Write run snapshot(s) to ``--metrics-out`` (one doc, or a list)."""
+    if not getattr(args, "metrics_out", None):
+        return
+    from .obs import write_metrics_json
+    payload = documents[0] if len(documents) == 1 else documents
+    try:
+        path = write_metrics_json(args.metrics_out, payload)
+    except OSError as exc:
+        print(f"error: cannot write metrics to {args.metrics_out!r}: "
+              f"{exc}", file=sys.stderr)
+        raise SystemExit(2)
+    print(f"metrics written to {path}", file=sys.stderr)
 
 
 def _tcp_compatible(scheme: str, fabric: str) -> bool:
@@ -78,6 +100,7 @@ def cmd_run(args) -> int:
     result = run_experiment(_config_from(args, args.scheme))
     print(RunResult.header())
     print(result.row())
+    _write_metrics(args, [result.metrics])
     if getattr(args, "timeline", False):
         from .viz import render_timeline
         print()
@@ -93,6 +116,10 @@ def cmd_run(args) -> int:
               f"{result.heartbeats_dropped}")
         print(f"server-side searches/inserts: "
               f"{result.searches_served_by_server}/{result.inserts_served}")
+        from .viz import render_metrics
+        print()
+        for line in render_metrics(result.metrics):
+            print(line)
     return 0
 
 
@@ -101,6 +128,7 @@ def cmd_compare(args) -> int:
         "tcp", "fast-messaging", "rdma-offloading", "catfish",
     ]
     print(RunResult.header())
+    documents = []
     for scheme in schemes:
         if scheme not in SCHEMES:
             print(f"error: unknown scheme {scheme!r}", file=sys.stderr)
@@ -114,6 +142,8 @@ def cmd_compare(args) -> int:
                                 if fabric == args.fabric else
                                 _config_with_fabric(args, scheme, fabric))
         print(result.row())
+        documents.append(result.metrics)
+    _write_metrics(args, documents)
     return 0
 
 
@@ -144,6 +174,7 @@ def cmd_kv(args) -> int:
     result = run_kv_experiment(config)
     print(RunResult.header())
     print(result.row())
+    _write_metrics(args, [result.metrics])
     return 0
 
 

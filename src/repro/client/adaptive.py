@@ -12,7 +12,11 @@ RDMA offloading using a binary-exponential-back-off-style rule:
   server at once;
 * consecutive busy observations extend the window without upper bound;
 * **a missing heartbeat means "do not offload"**: the likely cause is a
-  saturated server link, and offloading consumes *more* bandwidth;
+  saturated server link, and offloading consumes *more* bandwidth.  The
+  client tells "missing" apart from "fresh heartbeat reporting 0.0
+  utilization" by the mailbox sequence number, not by the value — a
+  server that is genuinely idle still counts as a (non-busy)
+  observation;
 * writes (insert/delete) always use fast messaging.
 """
 
@@ -22,6 +26,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
+from ..obs.registry import Counter, MetricsRegistry
+from ..obs.trace import NULL_TRACER
 from ..sim.kernel import Simulator
 from .base import ClientStats, Request
 from .fm_client import FmSession
@@ -62,6 +68,7 @@ class CatfishSession:
         params: AdaptiveParams = AdaptiveParams(),
         rng: Optional[random.Random] = None,
         pred_util: Callable[[float], float] = most_recent_utilization,
+        tracer=None,
     ):
         self.sim = sim
         self.fm = fm
@@ -70,13 +77,35 @@ class CatfishSession:
         self.params = params
         self.rng = rng or random.Random(0)
         self.pred_util = pred_util
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Algorithm 1 state.
         self.r_busy = 0
         self.r_off = 0
         self._t0 = sim.now
+        self._last_seq = -1
         # Introspection counters.
-        self.busy_observations = 0
-        self.backoff_extensions = 0
+        self.busy_observations = Counter("adaptive.busy_observations")
+        self.backoff_extensions = Counter("adaptive.backoff_extensions")
+        self.heartbeats_consumed = Counter("adaptive.heartbeats_consumed")
+        self.heartbeats_missing = Counter("adaptive.heartbeats_missing")
+        self.decisions_offload = Counter("adaptive.decisions_offload")
+        self.decisions_fm = Counter("adaptive.decisions_fm")
+
+    def register_metrics(self, registry: MetricsRegistry,
+                         prefix: str = "adaptive") -> None:
+        """Adopt the Algorithm 1 counters into ``registry``."""
+        registry.adopt(f"{prefix}.busy_observations",
+                       self.busy_observations)
+        registry.adopt(f"{prefix}.backoff_extensions",
+                       self.backoff_extensions)
+        registry.adopt(f"{prefix}.heartbeats_consumed",
+                       self.heartbeats_consumed)
+        registry.adopt(f"{prefix}.heartbeats_missing",
+                       self.heartbeats_missing)
+        registry.adopt(f"{prefix}.decisions_offload", self.decisions_offload)
+        registry.adopt(f"{prefix}.decisions_fm", self.decisions_fm)
+        registry.expose(f"{prefix}.r_busy", lambda: self.r_busy)
+        registry.expose(f"{prefix}.r_off", lambda: self.r_off)
 
     # -- Algorithm 1 -----------------------------------------------------------
 
@@ -86,12 +115,21 @@ class CatfishSession:
         utilization = 0.0
         now = self.sim.now
         mailbox = self.fm.mailbox
-        # Lines 7-11: only consume a heartbeat if at least Inv elapsed and
-        # one actually arrived (u_serv != 0); otherwise U stays 0, which
-        # deliberately reads as "not busy" when heartbeats are missing.
-        if now - self._t0 > params.Inv and mailbox.value != 0.0:
-            utilization = self.pred_util(mailbox.read_and_clear())
-            self._t0 = now
+        # Lines 7-11: consume a heartbeat if at least Inv elapsed and one
+        # actually arrived.  Freshness is the mailbox *sequence number*
+        # advancing, never the value being nonzero: a fresh heartbeat
+        # reporting exactly 0.0 utilization is a real (non-busy)
+        # observation, while an unchanged seq means "missing heartbeat",
+        # which deliberately reads as "do not offload".
+        if now - self._t0 > params.Inv:
+            fresh = mailbox.consume_fresh(self._last_seq)
+            if fresh is not None:
+                self._last_seq, raw = fresh
+                utilization = self.pred_util(raw)
+                self._t0 = now
+                self.heartbeats_consumed += 1
+            else:
+                self.heartbeats_missing += 1
         # Lines 12-17: extend or reset the back-off window.
         if utilization > params.T and self.r_off <= self.r_busy * params.N:
             self.r_busy += 1
@@ -130,12 +168,23 @@ class CatfishSession:
 
     def execute(self, request: Request) -> Generator:
         """Run one request, choosing the access method adaptively."""
+        span = self.tracer.span("adaptive", request.op)
         if not self._is_offloadable(request):
             # Writes always go to the server through the ring buffer.
+            span.annotate("decide", path="fast-messaging", reason="write")
             result = yield from self.fm.execute(request)
+            span.end(path="fast-messaging")
             return result
         if self._decide():
+            self.decisions_offload += 1
+            span.annotate("decide", path="offload", r_busy=self.r_busy,
+                          r_off=self.r_off)
             result = yield from self._offload(request)
+            span.end(path="offload")
         else:
+            self.decisions_fm += 1
+            span.annotate("decide", path="fast-messaging",
+                          r_busy=self.r_busy)
             result = yield from self.fm.execute(request)
+            span.end(path="fast-messaging")
         return result

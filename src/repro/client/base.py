@@ -6,6 +6,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs.registry import Counter, LatencyView, MetricsRegistry
 from ..rtree.geometry import Rect
 from ..sim.monitor import LatencyRecorder
 
@@ -50,23 +51,55 @@ class Request:
             raise ValueError("update request needs new_rect")
 
 
+#: The counter fields of :class:`ClientStats`, in registration order.
+CLIENT_COUNTER_FIELDS = (
+    "requests_sent",
+    "fast_messaging_requests",
+    "offloaded_requests",
+    "torn_retries",
+    "search_restarts",
+    "results_received",
+)
+
+
 @dataclass
 class ClientStats:
-    """Everything one client session records while running."""
+    """Everything one client session records while running.
+
+    The counters are :class:`~repro.obs.registry.Counter` objects — they
+    behave exactly like ints (``stats.torn_retries += 1`` and comparisons
+    keep working) while a :class:`~repro.obs.registry.MetricsRegistry`
+    can adopt them via :meth:`register_into` and observe live values.
+    """
 
     latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     search_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
-    requests_sent: int = 0
-    fast_messaging_requests: int = 0
-    offloaded_requests: int = 0
-    torn_retries: int = 0
-    search_restarts: int = 0
-    results_received: int = 0
+    requests_sent: Counter = field(default_factory=Counter)
+    fast_messaging_requests: Counter = field(default_factory=Counter)
+    offloaded_requests: Counter = field(default_factory=Counter)
+    torn_retries: Counter = field(default_factory=Counter)
+    search_restarts: Counter = field(default_factory=Counter)
+    results_received: Counter = field(default_factory=Counter)
 
     @property
     def offload_fraction(self) -> float:
         total = self.fast_messaging_requests + self.offloaded_requests
         return self.offloaded_requests / total if total else 0.0
+
+    def register_into(self, registry: MetricsRegistry,
+                      prefix: str = "client") -> None:
+        """Adopt every counter (and latency percentile views) into
+        ``registry`` under ``prefix``."""
+        for name in CLIENT_COUNTER_FIELDS:
+            registry.adopt(f"{prefix}.{name}", getattr(self, name))
+        registry.adopt(
+            f"{prefix}.latency_us",
+            LatencyView(self.latency, scale=1e6, unit="us"),
+        )
+        registry.adopt(
+            f"{prefix}.search_latency_us",
+            LatencyView(self.search_latency, scale=1e6, unit="us"),
+        )
 
 
 class RequestIdAllocator:

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Tuple
 
+from ..obs.registry import Counter, MetricsRegistry
+from ..obs.trace import NULL_SPAN, NULL_TRACER
 from ..rtree.geometry import Rect
 from ..rtree.serialize import NodeView, view_from_bytes
 from ..rtree.versioning import validate_snapshot
@@ -56,6 +58,7 @@ class OffloadEngine:
         max_read_retries: int = 8,
         max_search_restarts: int = 8,
         retry_backoff: float = 1e-6,
+        tracer=None,
     ):
         self.sim = sim
         self.qp = qp
@@ -66,11 +69,21 @@ class OffloadEngine:
         self.max_read_retries = max_read_retries
         self.max_search_restarts = max_search_restarts
         self.retry_backoff = retry_backoff
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._cached_root: Optional[int] = None
         self._cached_height: Optional[int] = None
-        self.meta_reads = 0
-        self.stale_root_detections = 0
-        self.chunks_fetched = 0
+        self._span = NULL_SPAN
+        self.meta_reads = Counter("offload.meta_reads")
+        self.stale_root_detections = Counter("offload.stale_root_detections")
+        self.chunks_fetched = Counter("offload.chunks_fetched")
+
+    def register_metrics(self, registry: MetricsRegistry,
+                         prefix: str = "offload") -> None:
+        """Adopt the one-sided-traversal counters into ``registry``."""
+        registry.adopt(f"{prefix}.meta_reads", self.meta_reads)
+        registry.adopt(f"{prefix}.stale_root_detections",
+                       self.stale_root_detections)
+        registry.adopt(f"{prefix}.chunks_fetched", self.chunks_fetched)
 
     # -- low-level reads -----------------------------------------------------
 
@@ -79,6 +92,7 @@ class OffloadEngine:
 
     def _read_meta(self) -> Generator:
         """Fetch the root pointer from the server's meta region."""
+        self._span.annotate("meta_read")
         meta: TreeMeta = yield self.qp.post_read(
             self.desc.meta_rkey, self.desc.meta_base, META_READ_SIZE
         )
@@ -106,7 +120,10 @@ class OffloadEngine:
         or raw chunk bytes (full-fidelity byte mode); the byte path runs
         the real decode + per-cache-line version comparison.
         """
+        span = self._span
         for attempt in range(self.max_read_retries):
+            span.annotate("issue", chunk=chunk_id, level=expected_level,
+                          attempt=attempt)
             data = yield self.qp.post_read(
                 self.desc.tree_rkey,
                 self._chunk_address(chunk_id),
@@ -120,8 +137,11 @@ class OffloadEngine:
                 view = data
                 ok = validate_snapshot(view)
             if ok and view.level == expected_level:
+                span.annotate("validate", chunk=chunk_id, ok=True)
                 return view
             self.stats.torn_retries += 1
+            span.annotate("retry", chunk=chunk_id, attempt=attempt,
+                          torn=not ok)
             yield self.sim.timeout(self.retry_backoff * (attempt + 1))
         return None
 
@@ -139,16 +159,23 @@ class OffloadEngine:
         "multiple RTTs" the paper attributes to offloading.
         """
         self.stats.offloaded_requests += 1
-        for _restart in range(self.max_search_restarts):
-            if self.multi_issue:
-                matches = yield from self._search_multi_issue(query)
-            else:
-                matches = yield from self._search_single_issue(query)
-            if matches is not None:
-                self.stats.results_received += len(matches)
-                return matches
-            # Stale root or persistent torn reads: retraverse.
-            self.stats.search_restarts += 1
+        span = self._span = self.tracer.span("offload", "search")
+        try:
+            for _restart in range(self.max_search_restarts):
+                if self.multi_issue:
+                    matches = yield from self._search_multi_issue(query)
+                else:
+                    matches = yield from self._search_single_issue(query)
+                if matches is not None:
+                    self.stats.results_received += len(matches)
+                    span.end(restarts=_restart, results=len(matches))
+                    return matches
+                # Stale root or persistent torn reads: retraverse.
+                self.stats.search_restarts += 1
+                span.annotate("restart", attempt=_restart + 1)
+        finally:
+            self._span = NULL_SPAN
+        span.end(error="restarts-exhausted")
         raise OffloadError(
             f"search did not complete after {self.max_search_restarts} restarts"
         )
@@ -239,9 +266,13 @@ class OffloadEngine:
 
         The meta read flies together with the optimistic root read; if it
         reveals a root change the attempt is abandoned and restarted from
-        the fresh root.
+        the fresh root.  On the cold-start path (no cached root yet) the
+        bootstrap meta read *is* the validation — issuing a second,
+        concurrent meta fetch would pay an extra RTT for a value fetched
+        one RTT ago, so it is skipped.
         """
-        if self._cached_root is None:
+        cold_start = self._cached_root is None
+        if cold_start:
             meta = yield from self._read_meta()
             self._apply_meta(meta)
 
@@ -263,8 +294,9 @@ class OffloadEngine:
             inflight += 1
             self.sim.process(fetch(chunk_id, level), name="multi-issue-read")
 
-        inflight += 1
-        self.sim.process(fetch_meta(), name="multi-issue-meta")
+        if not cold_start:
+            inflight += 1
+            self.sim.process(fetch_meta(), name="multi-issue-meta")
         issue(self._cached_root, self._cached_height - 1)
         while inflight:
             kind, payload = yield arrived.get()

@@ -18,9 +18,17 @@ from ..client.fm_client import FmSession
 from ..client.offload_client import OffloadEngine, OffloadSession
 from ..client.predictors import make_predictor
 from ..client.tcp_client import TcpSession
+from ..client.base import CLIENT_COUNTER_FIELDS
 from ..hw.cpu import SchedulerModel
 from ..hw.host import Host
 from ..net.fabric import Network, profile_by_name
+from ..obs import (
+    NULL_TRACER,
+    LatencyView,
+    MetricsRegistry,
+    Tracer,
+    snapshot_document,
+)
 from ..server.base import RTreeServer
 from ..server.fast_messaging import FastMessagingServer
 from ..server.heartbeat import HeartbeatService
@@ -64,6 +72,12 @@ class ExperimentRunner:
         self.config = config
         self.sim = Simulator()
         self.rngs = RngRegistry(config.seed)
+        self.metrics = MetricsRegistry()
+        self.tracer = (
+            Tracer(self.sim, max_events=config.trace_max_events,
+                   components=config.trace_components)
+            if config.trace else NULL_TRACER
+        )
         self.spec = scheme_spec(config.scheme)
         self.profile = profile_by_name(config.fabric)
         if self.spec.transport != TRANSPORT_TCP and not self.profile.rdma:
@@ -122,8 +136,69 @@ class ExperimentRunner:
         self._build_clients()
         if self.heartbeats is not None:
             self.heartbeats.start()
+        self._register_metrics()
         if config.collect_timeline:
             self.sim.process(self._timeline_sampler(), name="timeline")
+
+    def _register_metrics(self) -> None:
+        """Hook every component into the metrics registry.
+
+        Server-side objects register their own counters; client-side
+        counters are per-session, so the cluster aggregates them into
+        pull gauges summed over all clients.
+        """
+        m = self.metrics
+        if self.fm_server is not None:
+            self.fm_server.register_metrics(m)
+        if self.heartbeats is not None:
+            self.heartbeats.register_metrics(m)
+        m.expose("server.searches_served",
+                 lambda: int(self.server.searches_served))
+        m.expose("server.inserts_served",
+                 lambda: int(self.server.inserts_served))
+        m.expose("server.cpu_utilization", self.server_host.cpu.utilization)
+        m.expose("net.server_bandwidth_gbps",
+                 self.network.server_bandwidth_gbps)
+
+        stats_list = self.client_stats
+        for field in CLIENT_COUNTER_FIELDS:
+            m.expose(
+                f"client.{field}",
+                lambda f=field: sum(int(getattr(s, f)) for s in stats_list),
+            )
+        engines = [e for e in (getattr(s, "engine", None)
+                               for s in self.sessions) if e is not None]
+        if engines:
+            for field in ("meta_reads", "stale_root_detections",
+                          "chunks_fetched"):
+                m.expose(
+                    f"offload.{field}",
+                    lambda f=field: sum(int(getattr(e, f)) for e in engines),
+                )
+        adaptive = [s for s in self.sessions
+                    if isinstance(s, CatfishSession)]
+        if adaptive:
+            for field in ("busy_observations", "backoff_extensions",
+                          "heartbeats_consumed", "heartbeats_missing",
+                          "decisions_offload", "decisions_fm"):
+                m.expose(
+                    f"adaptive.{field}",
+                    lambda f=field: sum(int(getattr(s, f)) for s in adaptive),
+                )
+
+        if self.config.collect_timeline:
+            alive = lambda: any(d.is_alive for d in self._drivers)
+            m.sampler(
+                self.sim, "series.cpu_utilization",
+                lambda: self.server_host.cpu.tracker.window_utilization(
+                    reset=False),
+                interval=self.config.heartbeat_interval, while_fn=alive,
+            )
+            m.sampler(
+                self.sim, "series.requests_completed",
+                lambda: sum(int(s.requests_sent) for s in stats_list),
+                interval=self.config.heartbeat_interval, while_fn=alive,
+            )
 
     def _timeline_sampler(self) -> Generator:
         """Sample (t, cpu_util, window offload fraction) periodically."""
@@ -202,6 +277,7 @@ class ExperimentRunner:
             self.config.costs,
             stats,
             multi_issue=self.spec.multi_issue,
+            tracer=self.tracer,
         )
         if self.spec.offload == OFFLOAD_ALWAYS:
             return OffloadSession(engine, fm, stats)
@@ -214,6 +290,7 @@ class ExperimentRunner:
                 params=self.config.adaptive,
                 rng=self.rngs.fork(f"client-{client_id}").stream("backoff"),
                 pred_util=make_predictor(self.spec.predictor),
+                tracer=self.tracer,
             )
         if self.spec.offload == "bandit":
             return BanditSession(
@@ -237,9 +314,17 @@ class ExperimentRunner:
         config = self.config
         elapsed = self.sim.now
         merged = merge_client_stats(self.client_stats)
-        total = merged.requests_sent
+        total = int(merged.requests_sent)
         throughput_kops = (total / elapsed / 1e3) if elapsed > 0 else 0.0
         to_us = 1e6
+        self.metrics.adopt(
+            "client.latency_us",
+            LatencyView(merged.latency, scale=to_us, unit="us"),
+        )
+        self.metrics.adopt(
+            "client.search_latency_us",
+            LatencyView(merged.search_latency, scale=to_us, unit="us"),
+        )
         result = RunResult(
             scheme=config.scheme,
             fabric=config.fabric,
@@ -262,17 +347,31 @@ class ExperimentRunner:
                 / self.profile.bandwidth_bps
             ),
             offload_fraction=merged.offload_fraction,
-            torn_retries=merged.torn_retries,
-            search_restarts=merged.search_restarts,
+            torn_retries=int(merged.torn_retries),
+            search_restarts=int(merged.search_restarts),
             heartbeats_sent=(
-                self.heartbeats.beats_sent if self.heartbeats else 0
+                int(self.heartbeats.beats_sent) if self.heartbeats else 0
             ),
             heartbeats_dropped=(
-                self.heartbeats.beats_dropped if self.heartbeats else 0
+                int(self.heartbeats.beats_dropped) if self.heartbeats else 0
             ),
             searches_served_by_server=self.server.searches_served,
             inserts_served=self.server.inserts_served,
             timeline=list(self._timeline),
+            metrics=snapshot_document(
+                self.metrics,
+                tracer=self.tracer if config.trace else None,
+                meta={
+                    "scheme": config.scheme,
+                    "fabric": config.fabric,
+                    "n_clients": config.n_clients,
+                    "requests_per_client": config.requests_per_client,
+                    "workload": config.workload_kind,
+                    "seed": config.seed,
+                    "elapsed_s": elapsed,
+                    "throughput_kops": throughput_kops,
+                },
+            ),
         )
         return result
 

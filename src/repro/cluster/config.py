@@ -50,8 +50,18 @@ class ExperimentConfig:
     seed: int = 0
 
     #: When True, the runner samples (time, cpu_util, offload_fraction)
-    #: every heartbeat interval into ``RunResult.timeline``.
+    #: every heartbeat interval into ``RunResult.timeline`` and registers
+    #: windowed samplers with the metrics registry.
     collect_timeline: bool = False
+
+    #: Structured tracing (per-request spans).  Off by default: a real
+    #: tracer costs one bounded ring of events; NULL_TRACER costs nothing.
+    trace: bool = False
+    #: Components to trace when ``trace`` is set; empty means all
+    #: ("adaptive", "offload", ...).
+    trace_components: Tuple[str, ...] = ()
+    #: Bound on retained trace events (oldest evicted beyond this).
+    trace_max_events: int = 65536
 
     def __post_init__(self):
         if self.n_clients < 1:

@@ -23,10 +23,11 @@ from ..btree import (
     OP_SCAN,
 )
 from ..client.adaptive import AdaptiveParams
-from ..client.base import ClientStats
+from ..client.base import CLIENT_COUNTER_FIELDS, ClientStats
 from ..cuckoo import CuckooOffloadEngine, CuckooService
 from ..hw.host import Host
 from ..net.fabric import Network, profile_by_name
+from ..obs import LatencyView, MetricsRegistry, snapshot_document
 from ..server.fast_messaging import EVENT, FastMessagingServer
 from ..server.heartbeat import HeartbeatService
 from ..sim.kernel import Simulator, all_of
@@ -134,6 +135,7 @@ def run_kv_experiment(config: KvExperimentConfig) -> RunResult:
     )
 
     all_stats: List[ClientStats] = []
+    engines = []
     drivers = []
     for client_id in range(config.n_clients):
         host = Host(sim, f"client-{client_id}", profile,
@@ -166,19 +168,44 @@ def run_kv_experiment(config: KvExperimentConfig) -> RunResult:
             name=f"kv-client-{client_id}",
         ))
         all_stats.append(stats)
+        engines.append(engine)
     heartbeats.start()
+
+    metrics = MetricsRegistry()
+    fm_server.register_metrics(metrics)
+    heartbeats.register_metrics(metrics)
+    metrics.expose("server.cpu_utilization", server_host.cpu.utilization)
+    metrics.expose("net.server_bandwidth_gbps",
+                   network.server_bandwidth_gbps)
+    for field in CLIENT_COUNTER_FIELDS:
+        metrics.expose(
+            f"client.{field}",
+            lambda f=field: sum(int(getattr(s, f)) for s in all_stats),
+        )
+    # The two engine families count different things (meta/chunk reads vs
+    # bucket fetches): expose whatever this index's engine actually has.
+    for field in ("meta_reads", "chunks_fetched", "buckets_fetched",
+                  "stale_root_detections"):
+        if any(hasattr(e, field) for e in engines):
+            metrics.expose(
+                f"offload.{field}",
+                lambda f=field: sum(int(getattr(e, f, 0)) for e in engines),
+            )
+
     sim.run_until_triggered(all_of(sim, drivers))
 
     merged = merge_client_stats(all_stats)
     elapsed = sim.now
     to_us = 1e6
+    metrics.adopt("client.latency_us",
+                  LatencyView(merged.latency, scale=to_us, unit="us"))
     return RunResult(
         scheme=f"{config.index}:{config.scheme}",
         fabric=config.fabric,
         n_clients=config.n_clients,
-        total_requests=merged.requests_sent,
+        total_requests=int(merged.requests_sent),
         elapsed_s=elapsed,
-        throughput_kops=merged.requests_sent / elapsed / 1e3,
+        throughput_kops=int(merged.requests_sent) / elapsed / 1e3,
         mean_latency_us=merged.latency.mean * to_us,
         p50_latency_us=merged.latency.percentile(50) * to_us,
         p99_latency_us=merged.latency.percentile(99) * to_us,
@@ -192,10 +219,18 @@ def run_kv_experiment(config: KvExperimentConfig) -> RunResult:
             network.server_bandwidth_gbps() * 1e9 / profile.bandwidth_bps
         ),
         offload_fraction=merged.offload_fraction,
-        torn_retries=merged.torn_retries,
-        search_restarts=merged.search_restarts,
-        heartbeats_sent=heartbeats.beats_sent,
-        heartbeats_dropped=heartbeats.beats_dropped,
+        torn_retries=int(merged.torn_retries),
+        search_restarts=int(merged.search_restarts),
+        heartbeats_sent=int(heartbeats.beats_sent),
+        heartbeats_dropped=int(heartbeats.beats_dropped),
+        metrics=snapshot_document(metrics, meta={
+            "scheme": f"{config.index}:{config.scheme}",
+            "fabric": config.fabric,
+            "n_clients": config.n_clients,
+            "requests_per_client": config.requests_per_client,
+            "seed": config.seed,
+            "elapsed_s": elapsed,
+        }),
     )
 
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List
 
 from ..client.base import ClientStats
 
@@ -41,6 +41,10 @@ class RunResult:
     #: offload_fraction_in_window); filled when
     #: ``ExperimentConfig.collect_timeline`` is set.
     timeline: List[tuple] = field(default_factory=list)
+    #: Full observability snapshot (``catfish-metrics/v1`` document):
+    #: registry counters/gauges/histograms plus optional trace events.
+    #: See docs/observability.md.
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     def row(self) -> str:
         """One formatted table row (the bench harness prints these)."""

@@ -24,6 +24,7 @@ from ..hw.host import Host
 from ..msg.codec import message_size
 from ..msg.ringbuffer import DEFAULT_RING_CAPACITY, RingBuffer
 from ..net.fabric import Network
+from ..obs.registry import Counter, MetricsRegistry
 from ..sim.kernel import Simulator
 from ..transport.rdma import CompletionChannel, QpEndpoint, connect
 from .base import RTreeServer
@@ -95,11 +96,46 @@ class FastMessagingServer:
         self.mode = mode
         self.ring_capacity = ring_capacity
         self.connections: List[FmConnection] = []
-        self.requests_handled = 0
+        self.requests_handled = Counter("server.requests_handled")
 
     @property
     def n_connections(self) -> int:
         return len(self.connections)
+
+    def register_metrics(self, registry: MetricsRegistry,
+                         prefix: str = "server") -> None:
+        """Adopt server-side fast-messaging metrics into ``registry``.
+
+        Ring and completion-channel numbers are pull gauges aggregated
+        over every open connection, so late-opened connections are
+        included automatically.
+        """
+        registry.adopt(f"{prefix}.requests_handled", self.requests_handled)
+        registry.expose(f"{prefix}.connections", lambda: self.n_connections)
+        conns = self.connections
+        registry.expose(
+            f"{prefix}.request_ring_bytes",
+            lambda: sum(c.request_ring.bytes_sent for c in conns),
+        )
+        registry.expose(
+            f"{prefix}.response_ring_bytes",
+            lambda: sum(c.response_ring.bytes_sent for c in conns),
+        )
+        registry.expose(
+            f"{prefix}.request_ring_high_watermark",
+            lambda: max((c.request_ring.high_watermark for c in conns),
+                        default=0),
+        )
+        registry.expose(
+            f"{prefix}.response_ring_high_watermark",
+            lambda: max((c.response_ring.high_watermark for c in conns),
+                        default=0),
+        )
+        registry.expose(
+            f"{prefix}.channel_wakeups",
+            lambda: sum(c.server_channel.wakeups for c in conns
+                        if c.server_channel is not None),
+        )
 
     def open_connection(self, client_host: Host) -> FmConnection:
         """Bootstrap one client: rings, registered regions, QP, worker."""
@@ -158,22 +194,31 @@ class FastMessagingServer:
 
     def _worker(self, conn: FmConnection) -> Generator:
         scheduler = self.server.host.scheduler
-        while True:
-            if self.mode == EVENT:
+        if self.mode == EVENT:
+            while True:
                 yield conn.server_channel.wait()
                 yield self.sim.timeout(scheduler.event_wakeup_delay())
-                found, request = conn.request_ring.try_consume()
-                if not found:
-                    continue
-            else:
+                # Completions coalesce: while this thread slept (or was
+                # busy handling a request), more writes may have landed in
+                # the ring than notifications will wake us for.  Drain the
+                # ring fully on every wakeup so no request waits for an
+                # unrelated later wakeup.
+                while True:
+                    found, request = conn.request_ring.try_consume()
+                    if not found:
+                        break
+                    yield from self._handle(conn, request)
+                    self.requests_handled += 1
+        else:
+            while True:
                 request = yield conn.request_ring.consume()
                 # The message is in the ring, but the polling thread must be
                 # scheduled onto a core to notice it.
                 yield self.sim.timeout(
                     scheduler.polling_wakeup_delay(self.n_connections)
                 )
-            yield from self._handle(conn, request)
-            self.requests_handled += 1
+                yield from self._handle(conn, request)
+                self.requests_handled += 1
 
     def _handle(self, conn: FmConnection, request) -> Generator:
         segments = yield from self.server.handle_request(request)

@@ -7,13 +7,20 @@ ring has no room (its link is congested), the heartbeat is skipped — the
 client-side algorithm deliberately treats a missing heartbeat as "do not
 offload", because offloading would add bandwidth to an already saturated
 link.
+
+Each heartbeat carries a monotone sequence number.  The client consumes a
+heartbeat only when the mailbox sequence advanced past the last one it
+read (:meth:`HeartbeatMailbox.consume_fresh`), which makes a genuine
+``0.0``-utilization heartbeat distinguishable from "no heartbeat arrived"
+— comparing the utilization value against zero cannot tell the two apart.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List
+from typing import Generator, List, Optional, Tuple
 
 from ..msg.codec import Heartbeat
+from ..obs.registry import Counter, MetricsRegistry
 from ..sim.kernel import Simulator
 
 #: The paper's heartbeat interval.
@@ -45,6 +52,21 @@ class HeartbeatMailbox:
         self.value = 0.0
         return value
 
+    def consume_fresh(self, last_seq: int) -> Optional[Tuple[int, float]]:
+        """Consume the heartbeat iff one arrived since ``last_seq``.
+
+        Returns ``(seq, utilization)`` for a fresh heartbeat, or ``None``
+        when the mailbox is empty / unchanged — the unambiguous form of
+        the paper's "missing heartbeat" signal (a genuine 0.0-utilization
+        heartbeat is *fresh*, not missing).
+        """
+        if self.seq <= last_seq:
+            return None
+        seq = self.seq
+        value = self.value
+        self.value = 0.0
+        return seq, value
+
 
 class HeartbeatService:
     """The server-side module broadcasting utilization to clients."""
@@ -64,8 +86,9 @@ class HeartbeatService:
         #: actual RDMA Write of a heartbeat into that client's ring.
         self._subscribers: List = []
         self._seq = 0
-        self.beats_sent = 0
-        self.beats_dropped = 0
+        self.beats_sent = Counter("heartbeat.beats_sent")
+        self.beats_dropped = Counter("heartbeat.beats_dropped")
+        self.last_utilization = 0.0
         self._proc = None
 
     def subscribe(self, response_ring, send_fn) -> None:
@@ -75,10 +98,20 @@ class HeartbeatService:
         if self._proc is None:
             self._proc = self.sim.process(self._run(), name="heartbeat")
 
+    def register_metrics(self, registry: MetricsRegistry,
+                         prefix: str = "heartbeat") -> None:
+        """Adopt the service counters into ``registry``."""
+        registry.adopt(f"{prefix}.beats_sent", self.beats_sent)
+        registry.adopt(f"{prefix}.beats_dropped", self.beats_dropped)
+        registry.expose(f"{prefix}.last_utilization",
+                        lambda: self.last_utilization)
+        registry.expose(f"{prefix}.seq", lambda: self._seq)
+
     def _run(self) -> Generator:
         while True:
             yield self.sim.timeout(self.interval)
             utilization = self._sample()
+            self.last_utilization = utilization
             self._seq += 1
             heartbeat = Heartbeat(utilization=utilization, seq=self._seq)
             for ring, send_fn in self._subscribers:

@@ -53,6 +53,57 @@ def bar_chart(rows: Sequence[Tuple[str, float]], width: int = 40,
     return lines
 
 
+def render_metrics(document: dict, width: int = 40) -> List[str]:
+    """Render a ``catfish-metrics/v1`` document as terminal text.
+
+    Counters and gauges become one bar chart, histograms get a
+    count/mean/percentile line each, series become sparklines.
+    """
+    metrics = document.get("metrics", {})
+    meta = document.get("meta", {})
+    lines: List[str] = []
+    if meta:
+        tag = " ".join(f"{k}={meta[k]}" for k in ("scheme", "fabric",
+                                                  "n_clients") if k in meta)
+        lines.append(f"metrics [{tag}]" if tag else "metrics")
+
+    scalars = []
+    for name in sorted(metrics):
+        snap = metrics[name]
+        if snap.get("type") in ("counter", "gauge"):
+            value = snap.get("value")
+            if isinstance(value, (int, float)) and value:
+                scalars.append((name, float(value)))
+    lines.extend(bar_chart(scalars, width=width))
+
+    for name in sorted(metrics):
+        snap = metrics[name]
+        if snap.get("type") == "histogram" and snap.get("count"):
+            unit = snap.get("unit", "")
+            def fmt(key):
+                v = snap.get(key)
+                return f"{v:.1f}" if isinstance(v, (int, float)) else "-"
+            lines.append(
+                f"{name}: n={snap['count']} mean={fmt('mean')}{unit} "
+                f"p50={fmt('p50')} p95={fmt('p95')} p99={fmt('p99')}"
+            )
+
+    for name in sorted(metrics):
+        snap = metrics[name]
+        if snap.get("type") == "series" and snap.get("points"):
+            values = [v for _t, v in snap["points"] if v is not None]
+            lines.append(f"{name} [{min(values):.3g}..{max(values):.3g}] "
+                         f"{sparkline(values)}")
+
+    trace = document.get("trace")
+    if trace:
+        lines.append(
+            f"trace: {trace.get('total_events', 0)} events "
+            f"({trace.get('dropped_events', 0)} dropped)"
+        )
+    return lines or ["(no metrics)"]
+
+
 def render_timeline(timeline: Sequence[Tuple[float, float, float]],
                     max_points: int = 72) -> List[str]:
     """Render a RunResult timeline as labelled sparklines.

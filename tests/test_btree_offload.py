@@ -17,6 +17,7 @@ from repro.btree import (
 )
 from repro.client import AdaptiveParams, ClientStats
 from repro.hw import Host
+from repro.msg import Heartbeat
 from repro.net import IB_100G, Network
 from repro.server import EVENT, FastMessagingServer
 from repro.sim import Simulator
@@ -239,7 +240,8 @@ class TestAdaptiveKv:
         def feeder():
             # emulate heartbeats reporting a saturated server
             while sim.now < 30e-3:
-                fm.mailbox.value = 1.0
+                fm.mailbox.deliver(
+                    Heartbeat(1.0, seq=fm.mailbox.seq + 1))
                 yield sim.timeout(0.2e-3)
 
         def client():
@@ -259,7 +261,7 @@ class TestAdaptiveKv:
             sim, fm, engine, stats,
             params=AdaptiveParams(N=8, T=0.9, Inv=0.2e-3),
         )
-        fm.mailbox.value = 1.0
+        fm.mailbox.deliver(Heartbeat(1.0, seq=fm.mailbox.seq + 1))
 
         def client():
             for i in range(10):

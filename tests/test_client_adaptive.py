@@ -9,27 +9,23 @@ from repro.client.adaptive import most_recent_utilization
 from repro.client.base import OP_INSERT, OP_SEARCH
 from repro.msg import Heartbeat
 from repro.rtree import Rect
+from repro.server import HeartbeatMailbox
 from repro.sim import Simulator
 
 RECT = Rect(0.1, 0.1, 0.2, 0.2)
 
 
-class FakeMailbox:
-    def __init__(self):
-        self.value = 0.0
-
-    def read_and_clear(self):
-        value = self.value
-        self.value = 0.0
-        return value
+def beat(mailbox, utilization):
+    """Deliver one fresh heartbeat (advancing the mailbox sequence)."""
+    mailbox.deliver(Heartbeat(utilization, seq=mailbox.seq + 1))
 
 
 class FakeFm:
-    """Stands in for FmSession: records calls, exposes a mailbox."""
+    """Stands in for FmSession: records calls, exposes a real mailbox."""
 
     def __init__(self, sim):
         self.sim = sim
-        self.mailbox = FakeMailbox()
+        self.mailbox = HeartbeatMailbox()
         self.calls = []
 
     def execute(self, request):
@@ -75,10 +71,10 @@ def drive(sim, session, n, op=OP_SEARCH, gap=2e-3):
 
 
 def feed(sim, mailbox, value, until, every=1e-3):
-    """Refresh the mailbox with ``value`` every ``every`` until ``until``."""
+    """Deliver a fresh ``value`` heartbeat every ``every`` until ``until``."""
     def proc():
         while sim.now < until:
-            mailbox.value = value
+            beat(mailbox, value)
             yield sim.timeout(every)
 
     sim.process(proc())
@@ -113,12 +109,13 @@ class TestDecision:
         assert len(engine.calls) == 0
 
     def test_missing_heartbeat_means_no_offload(self):
-        """Paper: no heartbeat (u_serv == 0) must NOT trigger offloading —
-        the cause could be a saturated server link."""
+        """Paper: no heartbeat must NOT trigger offloading — the cause
+        could be a saturated server link."""
         sim, fm, engine, session = make_session()
-        fm.mailbox.value = 0.0  # nothing ever arrives
-        drive(sim, session, 20)
+        drive(sim, session, 20)  # nothing ever arrives
         assert len(engine.calls) == 0
+        assert session.heartbeats_missing > 0
+        assert session.heartbeats_consumed == 0
 
     def test_busy_heartbeat_triggers_offload_window(self):
         sim, fm, engine, session = make_session(seed=3)
@@ -138,7 +135,7 @@ class TestDecision:
         offload (r_off drawn from [0, N))."""
         params = AdaptiveParams(N=8, T=0.95, Inv=1e-3)
         sim, fm, engine, session = make_session(params)
-        fm.mailbox.value = 0.99  # one heartbeat, never replenished
+        beat(fm.mailbox, 0.99)  # one heartbeat, never replenished
         drive(sim, session, 30)
         assert len(engine.calls) <= params.N - 1
 
@@ -159,7 +156,7 @@ class TestDecision:
         def feeder():
             # busy for 20 ms, then idle
             while sim.now < 20e-3:
-                fm.mailbox.value = 1.0
+                beat(fm.mailbox, 1.0)
                 yield sim.timeout(1e-3)
 
         sim.process(feeder())
@@ -176,21 +173,24 @@ class TestDecision:
         assert len(fm.calls) == 20
 
     def test_heartbeat_consumed_at_most_every_inv(self):
-        """Within an Inv window the mailbox must not be re-read."""
+        """Within an Inv window the mailbox must not be re-consumed."""
         params = AdaptiveParams(N=8, T=0.95, Inv=5e-3)
         sim, fm, engine, session = make_session(params)
-        fm.mailbox.value = 1.0
+        feed(sim, fm.mailbox, 1.0, until=1.0)
         reads = []
 
-        original = fm.mailbox.read_and_clear
+        original = fm.mailbox.consume_fresh
 
-        def counting_read():
-            reads.append(sim.now)
-            return original()
+        def counting_consume(last_seq):
+            result = original(last_seq)
+            if result is not None:
+                reads.append(sim.now)
+            return result
 
-        fm.mailbox.read_and_clear = counting_read
+        fm.mailbox.consume_fresh = counting_consume
         # requests every 1 ms, Inv = 5 ms
         drive(sim, session, 20, gap=1e-3)
+        assert reads
         for a, b in zip(reads, reads[1:]):
             assert b - a > params.Inv
 
@@ -199,17 +199,137 @@ class TestDecision:
         for seed in range(6):
             params = AdaptiveParams(N=8, T=0.95, Inv=1e-3)
             sim, fm, engine, session = make_session(params, seed=seed)
-            fm.mailbox.value = 0.99  # a single busy observation
+            beat(fm.mailbox, 0.99)  # a single busy observation
             drive(sim, session, 30)
             lengths.add(len(engine.calls))
         # Different clients draw different window sizes.
         assert len(lengths) > 1
 
 
+class _MaxDrawRng:
+    """Deterministic rng: randrange(n) always draws the maximum n-1."""
+
+    def randrange(self, n):
+        return n - 1
+
+
+class TestAlgorithmEdgeCases:
+    """Algorithm 1 boundary behavior, driven through _decide directly."""
+
+    @staticmethod
+    def _force_inv_elapsed(session):
+        # Make `now - t0 > Inv` true without running the event loop.
+        session._t0 = -10.0 * session.params.Inv
+
+    def test_utilization_exactly_at_threshold_is_not_busy(self):
+        """The busy test is strictly `U > T`; a reading of exactly T must
+        not open an offload window."""
+        sim, fm, engine, session = make_session()
+        self._force_inv_elapsed(session)
+        beat(fm.mailbox, session.params.T)
+        assert session._decide() is False
+        assert session.r_busy == 0
+        assert session.busy_observations == 0
+        # ... but the heartbeat itself was consumed (it was fresh).
+        assert session.heartbeats_consumed == 1
+
+    def test_just_above_threshold_is_busy(self):
+        sim, fm, engine, session = make_session()
+        self._force_inv_elapsed(session)
+        beat(fm.mailbox, session.params.T + 1e-9)
+        session._decide()
+        assert session.r_busy == 1
+
+    def test_backoff_window_within_documented_bounds(self):
+        """The k-th consecutive busy draw lands in [(k-1)*N, k*N)."""
+        params = AdaptiveParams(N=8, T=0.95, Inv=1e-3)
+        sim, fm, engine, session = make_session(params)
+        session.rng = _MaxDrawRng()
+        for expected_r_busy in (1, 2, 3, 4):
+            self._force_inv_elapsed(session)
+            beat(fm.mailbox, 1.0)
+            offloaded = session._decide()
+            assert session.r_busy == expected_r_busy
+            # _decide drained one unit before returning; undo it.
+            drawn = session.r_off + (1 if offloaded else 0)
+            lo = (expected_r_busy - 1) * params.N
+            hi = expected_r_busy * params.N
+            assert lo <= drawn < hi
+
+    def test_reset_on_non_busy_heartbeat(self):
+        params = AdaptiveParams(N=8, T=0.95, Inv=1e-3)
+        sim, fm, engine, session = make_session(params)
+        self._force_inv_elapsed(session)
+        beat(fm.mailbox, 1.0)
+        session._decide()
+        assert session.r_busy == 1
+        self._force_inv_elapsed(session)
+        beat(fm.mailbox, 0.3)
+        session._decide()
+        assert session.r_busy == 0
+
+    def test_fresh_zero_utilization_heartbeat_is_consumed(self):
+        """The seq-based fix: a genuine heartbeat reporting exactly 0.0
+        utilization is a real observation, not a missing heartbeat."""
+        sim, fm, engine, session = make_session()
+        self._force_inv_elapsed(session)
+        beat(fm.mailbox, 0.0)
+        assert session._decide() is False
+        assert session.heartbeats_consumed == 1
+        assert session.heartbeats_missing == 0
+        # Consuming advanced the Inv clock: the next decide within Inv
+        # does not consume again.
+        beat(fm.mailbox, 1.0)
+        assert session._decide() is False
+        assert session.heartbeats_consumed == 1
+
+    def test_duplicate_seq_reads_as_missing(self):
+        """A replayed heartbeat (same seq) must not be consumed twice —
+        even though its utilization value is nonzero."""
+        sim, fm, engine, session = make_session()
+        self._force_inv_elapsed(session)
+        fm.mailbox.deliver(Heartbeat(0.99, seq=1))
+        session._decide()
+        assert session.heartbeats_consumed == 1
+        self._force_inv_elapsed(session)
+        fm.mailbox.deliver(Heartbeat(0.99, seq=1))  # replay, not fresh
+        budget_before = session.r_off
+        session._decide()
+        assert session.heartbeats_consumed == 1
+        assert session.heartbeats_missing == 1
+        # Missing heartbeat resets the busy streak; any remaining budget
+        # drains without extension.
+        assert session.r_busy == 0
+        assert session.r_off == max(budget_before - 1, 0)
+
+    def test_missing_heartbeat_never_offloads_without_budget(self):
+        """With no budget left, missing heartbeats mean fast messaging
+        forever — never offload on silence."""
+        sim, fm, engine, session = make_session()
+        for _ in range(50):
+            self._force_inv_elapsed(session)
+            assert session._decide() is False
+        assert session.heartbeats_missing == 50
+
+
 class TestHeartbeatIntegration:
     def test_mailbox_deliver_and_algorithm_read(self):
-        sim, fm, engine, session = make_session()
-        box = FakeMailbox()
-        box.value = 0.97
+        box = HeartbeatMailbox()
+        box.deliver(Heartbeat(0.97, seq=1))
         assert box.read_and_clear() == 0.97
         assert box.value == 0.0
+
+    def test_consume_fresh_distinguishes_empty_from_zero(self):
+        box = HeartbeatMailbox()
+        assert box.consume_fresh(-1) is None  # truly empty
+        box.deliver(Heartbeat(0.0, seq=1))
+        fresh = box.consume_fresh(-1)
+        assert fresh == (1, 0.0)  # genuine 0.0-utilization heartbeat
+        assert box.consume_fresh(1) is None  # consumed: not fresh anymore
+
+    def test_consume_fresh_clears_value(self):
+        box = HeartbeatMailbox()
+        box.deliver(Heartbeat(0.8, seq=3))
+        assert box.consume_fresh(-1) == (3, 0.8)
+        assert box.value == 0.0
+        assert box.seq == 3

@@ -119,9 +119,34 @@ def test_meta_is_validated_every_search():
 
     sim.process(client())
     sim.run()
-    # first search: bootstrap meta read + in-flight validation read
+    # first search: bootstrap meta read; warm searches: one in-flight
+    # validation read each
     assert engine.meta_reads >= 5
     assert engine.stale_root_detections == 0
+
+
+def test_cold_start_does_single_meta_read():
+    """Regression: the first multi-issue search used to do a blocking
+    bootstrap meta read AND immediately issue a second concurrent
+    fetch_meta — paying an extra RTT and double-counting meta_reads."""
+    sim, net, sh, server, engine, stats, items = make_offload(
+        multi_issue=True
+    )
+
+    def client():
+        yield from engine.search(Rect(0.4, 0.4, 0.45, 0.45))
+
+    sim.process(client())
+    sim.run()
+    assert engine.meta_reads == 1
+
+    # The warm path still validates concurrently: exactly one more read.
+    def client2():
+        yield from engine.search(Rect(0.4, 0.4, 0.45, 0.45))
+
+    sim.process(client2())
+    sim.run()
+    assert engine.meta_reads == 2
 
 
 def test_torn_read_is_retried_during_concurrent_insert():

@@ -15,6 +15,7 @@ from repro.cuckoo import (
     CuckooService,
 )
 from repro.hw import Host
+from repro.msg import Heartbeat
 from repro.net import IB_100G, Network
 from repro.server import EVENT, FastMessagingServer
 from repro.sim import Simulator
@@ -253,7 +254,8 @@ class TestService:
 
         def feeder():
             while sim.now < 20e-3:
-                fm.mailbox.value = 1.0
+                fm.mailbox.deliver(
+                    Heartbeat(1.0, seq=fm.mailbox.seq + 1))
                 yield sim.timeout(0.2e-3)
 
         def client():

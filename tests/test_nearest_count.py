@@ -8,6 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.client import ClientStats, OffloadEngine
 from repro.client.base import OP_COUNT, OP_NEAREST, Request
+from repro.msg import Heartbeat
 from repro.client.fm_client import FmSession
 from repro.hw import Host
 from repro.net import IB_100G, Network
@@ -244,14 +245,15 @@ class TestServerAndTransports:
             params=AdaptiveParams(N=8, T=0.9, Inv=0.2e-3),
             rng=random.Random(6),
         )
-        fm.mailbox.value = 1.0  # pretend the server is busy
+        fm.mailbox.deliver(Heartbeat(1.0, seq=1))  # server is busy
 
         def client():
             out = []
             for i in range(8):
                 # advance past Inv so the mailbox is consumed
                 yield sim.timeout(0.3e-3)
-                fm.mailbox.value = 1.0
+                fm.mailbox.deliver(
+                    Heartbeat(1.0, seq=fm.mailbox.seq + 1))
                 matches = yield from session.execute(
                     Request(OP_NEAREST, Rect.point(0.5, 0.5), k=2))
                 out.append(len(matches))

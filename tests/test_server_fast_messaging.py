@@ -152,6 +152,29 @@ def test_many_clients_interleave():
     assert fm_server.requests_handled == 40
 
 
+def test_event_worker_drains_coalesced_completions():
+    """Two requests landed in the ring but only ONE channel notification
+    fired (completion coalescing): the worker must drain the ring on that
+    single wakeup instead of leaving the second request until the next
+    (unrelated) wakeup."""
+    from repro.msg.codec import SearchRequest
+
+    sim, net, server_host, rtree_server, fm_server, items = make_fm(EVENT)
+    session, stats, conn, _client = make_session(sim, net, fm_server)
+
+    query = Rect(0.1, 0.1, 0.3, 0.3)
+    for req_id in (1, 2):
+        wire = SearchRequest(req_id, query)
+        assert conn.request_ring.try_reserve(wire)
+        conn.request_ring.deposit(wire)
+    # Back-to-back writes, one coalesced completion event.
+    conn.server_channel.notify()
+
+    sim.run(until=0.05)
+    assert fm_server.requests_handled == 2
+    assert conn.request_ring.pending_messages == 0
+
+
 def test_invalid_mode_rejected():
     sim = Simulator()
     net = Network(sim, IB_100G)
