@@ -19,6 +19,7 @@ from .cluster.config import ExperimentConfig
 from .cluster.results import RunResult
 from .cluster.schemes import SCHEMES
 from .net.fabric import PROFILES
+from .perfbench import DEFAULT_OUT, DEFAULT_REPEATS, SCALE_PARAMS
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -178,6 +179,14 @@ def cmd_kv(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    from .perfbench import bench_scale, run_perf, write_perf_json
+    scale = args.scale or bench_scale()
+    run = run_perf(scale, repeats=args.repeats)
+    write_perf_json(args.out, run, scale, baseline=args.baseline)
+    return 0
+
+
 def cmd_schemes(_args) -> int:
     print(f"{'scheme':>22} {'transport':>10} {'notify':>8} "
           f"{'offload':>9} {'multi':>6}")
@@ -226,6 +235,22 @@ def build_parser() -> argparse.ArgumentParser:
                       help="Zipf skew of key popularity")
     _add_common_options(p_kv)
     p_kv.set_defaults(func=cmd_kv)
+
+    p_perf = sub.add_parser(
+        "perf",
+        help="substrate perf benchmark (kernel / search / end-to-end); "
+             "writes BENCH_perf.json",
+    )
+    p_perf.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"artifact path (default {DEFAULT_OUT})")
+    p_perf.add_argument("--baseline", action="store_true",
+                        help="record this run as the pre-PR baseline")
+    p_perf.add_argument("--scale", default=None,
+                        choices=sorted(SCALE_PARAMS),
+                        help="work size (default: $CATFISH_BENCH_SCALE)")
+    p_perf.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
+                        help="runs per stage; best (min wall) is recorded")
+    p_perf.set_defaults(func=cmd_perf)
 
     p_sch = sub.add_parser("schemes", help="list available schemes")
     p_sch.set_defaults(func=cmd_schemes)

@@ -252,10 +252,7 @@ class OffloadEngine:
                 return None
             yield self.sim.timeout(self._check_cost())
             if view.is_leaf:
-                matches.extend(
-                    (rect, ref) for rect, ref in view.entries
-                    if rect.intersects(query)
-                )
+                matches.extend(view.intersecting_entries(query))
             else:
                 for ref in view.intersecting_refs(query):
                     stack.append((ref, level - 1))
@@ -313,10 +310,7 @@ class OffloadEngine:
                 continue
             yield self.sim.timeout(self._check_cost())
             if view.is_leaf:
-                matches.extend(
-                    (rect, ref) for rect, ref in view.entries
-                    if rect.intersects(query)
-                )
+                matches.extend(view.intersecting_entries(query))
             else:
                 for ref in view.intersecting_refs(query):
                     issue(ref, view.level - 1)

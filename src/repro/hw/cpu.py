@@ -72,7 +72,8 @@ class CorePool:
         """
         if cost < 0:
             raise ValueError(f"negative work cost {cost}")
-        with self._cores.request() as req:
+        req = self._cores.request()
+        try:
             yield req
             self.tracker.adjust(+1)
             try:
@@ -80,6 +81,8 @@ class CorePool:
                 self.total_work_seconds += cost
             finally:
                 self.tracker.adjust(-1)
+        finally:
+            req.release()
 
     def utilization(self) -> float:
         """Busy fraction since t=0 (for end-of-run reporting)."""

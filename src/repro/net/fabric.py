@@ -113,8 +113,11 @@ class Network:
     def transfer(self, src, dst, wire_bytes: int) -> Generator:
         """Move ``wire_bytes`` (already wire-inflated) from src to dst host.
 
-        Process generator; completes when the last byte arrives.  Exactly
-        one endpoint must be the attached server.
+        Returns the link's transfer generator directly (rather than
+        delegating with ``yield from``), so every hop through the fabric
+        costs one generator frame instead of two — ``transfer`` sits under
+        every simulated RDMA/TCP message.  Completes when the last byte
+        arrives.  Exactly one endpoint must be the attached server.
         """
         if self.server_host is None:
             raise RuntimeError("Network has no attached server host")
@@ -127,15 +130,15 @@ class Network:
                 f"transfer {getattr(src, 'name', src)} -> "
                 f"{getattr(dst, 'name', dst)} does not touch the server"
             )
-        yield from link.transfer(wire_bytes)
+        return link.transfer(wire_bytes)
 
     def to_server(self, payload: int) -> Generator:
         """Deliver ``payload`` bytes client -> server (process generator)."""
-        yield from self.server_link.rx.transfer(self.profile.wire_size(payload))
+        return self.server_link.rx.transfer(self.profile.wire_size(payload))
 
     def to_client(self, payload: int) -> Generator:
         """Deliver ``payload`` bytes server -> client (process generator)."""
-        yield from self.server_link.tx.transfer(self.profile.wire_size(payload))
+        return self.server_link.tx.transfer(self.profile.wire_size(payload))
 
     def server_bandwidth_utilization(self) -> float:
         """Fraction of the server access link consumed (Fig 2's right axis)."""

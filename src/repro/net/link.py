@@ -34,25 +34,31 @@ class Link:
         self.name = name
         self.bandwidth_bps = bandwidth_bps
         self.latency_s = latency_s
+        self._bytes_per_s = bandwidth_bps / 8.0
         self._tx = Resource(sim, capacity=1)
         self.counter = ByteCounter(sim)
 
     @property
     def bytes_per_second(self) -> float:
-        return self.bandwidth_bps / 8.0
+        return self._bytes_per_s
 
     def serialization_delay(self, nbytes: int) -> float:
         """Time the transmitter is held for ``nbytes``."""
         if nbytes < 0:
             raise ValueError(f"negative size {nbytes}")
-        return nbytes / self.bytes_per_second
+        return nbytes / self._bytes_per_s
 
     def transfer(self, nbytes: int) -> Generator:
         """Process generator: completes when the last byte has arrived."""
-        with self._tx.request() as req:
+        if nbytes < 0:
+            raise ValueError(f"negative size {nbytes}")
+        req = self._tx.request()
+        try:
             yield req
-            yield self.sim.timeout(self.serialization_delay(nbytes))
+            yield self.sim.timeout(nbytes / self._bytes_per_s)
             self.counter.record(nbytes)
+        finally:
+            req.release()
         # Propagation overlaps with the next sender's serialization.
         yield self.sim.timeout(self.latency_s)
 

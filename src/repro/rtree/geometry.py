@@ -66,6 +66,10 @@ class Rect:
         return cls(minx, miny, maxx, maxy)
 
     # -- metrics -----------------------------------------------------------
+    #
+    # ``area``/``margin`` sit in the R*-tree's innermost loops, so they use
+    # direct arithmetic rather than going through the ``width``/``height``
+    # properties (a property call per operand is measurable there).
 
     @property
     def width(self) -> float:
@@ -76,11 +80,11 @@ class Rect:
         return self.maxy - self.miny
 
     def area(self) -> float:
-        return self.width * self.height
+        return (self.maxx - self.minx) * (self.maxy - self.miny)
 
     def margin(self) -> float:
         """Half-perimeter; the R\\*-tree split axis criterion."""
-        return self.width + self.height
+        return (self.maxx - self.minx) + (self.maxy - self.miny)
 
     def center(self) -> Tuple[float, float]:
         return ((self.minx + self.maxx) / 2, (self.miny + self.maxy) / 2)

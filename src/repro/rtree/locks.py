@@ -28,6 +28,9 @@ class RWLock:
         self._writer = False
         #: queue of (event, is_writer) in arrival order
         self._waiting: Deque[Tuple[Event, bool]] = deque()
+        #: writers currently in ``_waiting`` (kept so the writer-preference
+        #: check in acquire_read is O(1) instead of scanning the queue)
+        self._waiting_writers = 0
         self.read_acquisitions = 0
         self.write_acquisitions = 0
 
@@ -36,8 +39,7 @@ class RWLock:
     def acquire_read(self) -> Event:
         """Event that succeeds when the shared lock is held."""
         event = self.sim.event()
-        waiting_writer = any(w for _e, w in self._waiting)
-        if not self._writer and not waiting_writer:
+        if not self._writer and self._waiting_writers == 0:
             self._readers += 1
             self.read_acquisitions += 1
             event.succeed()
@@ -54,6 +56,7 @@ class RWLock:
             event.succeed()
         else:
             self._waiting.append((event, True))
+            self._waiting_writers += 1
         return event
 
     # -- release -------------------------------------------------------------
@@ -78,6 +81,7 @@ class RWLock:
             if is_writer:
                 if self._readers == 0:
                     self._waiting.popleft()
+                    self._waiting_writers -= 1
                     self._writer = True
                     self.write_acquisitions += 1
                     event.succeed()

@@ -57,6 +57,9 @@ class Node:
         "parent",
         "version",
         "active_writers",
+        "mut_seq",
+        "_coords",
+        "_coords_ok",
     )
 
     def __init__(self, level: int, chunk_id: int = -1):
@@ -71,6 +74,44 @@ class Node:
         #: Number of server threads currently mutating this node; a one-
         #: sided read sampled while this is non-zero is a torn read.
         self.active_writers = 0
+        #: Bumped on every structural mutation (entry added/removed or an
+        #: entry's rect replaced).  Unlike ``version`` — which only moves
+        #: at ``end_write()``, i.e. when the simulated write window closes
+        #: — this tracks the in-memory truth and keys derived caches (the
+        #: flat coordinate scan cache below, the server's packed-chunk
+        #: byte cache).
+        self.mut_seq = 0
+        #: Flat ``[minx, miny, maxx, maxy] * count`` scan cache so search
+        #: and ChooseSubtree read local floats instead of chasing
+        #: ``entry.rect`` per entry.  Rebuilt lazily via ``scan_coords()``.
+        self._coords: List[float] = []
+        self._coords_ok = False
+
+    def invalidate(self) -> None:
+        """Drop derived caches after a mutation (and bump ``mut_seq``).
+
+        Every code path that appends/removes an entry or rebinds an
+        ``entry.rect`` on this node must call this; ``add``/``remove`` do
+        it themselves, the R* algorithms do it at their direct-assignment
+        sites.
+        """
+        self._coords_ok = False
+        self.mut_seq += 1
+
+    def scan_coords(self) -> List[float]:
+        """The flat coordinate array, rebuilding it if stale."""
+        if self._coords_ok:
+            return self._coords
+        coords: List[float] = []
+        for entry in self.entries:
+            r = entry.rect
+            coords.append(r.minx)
+            coords.append(r.miny)
+            coords.append(r.maxx)
+            coords.append(r.maxy)
+        self._coords = coords
+        self._coords_ok = True
+        return coords
 
     @property
     def is_leaf(self) -> bool:
@@ -82,9 +123,24 @@ class Node:
 
     def mbr(self) -> Rect:
         """Minimum bounding rectangle of all entries."""
-        if not self.entries:
+        entries = self.entries
+        if not entries:
             raise ValueError("mbr() of an empty node")
-        return Rect.union_of(e.rect for e in self.entries)
+        # Single direct pass (mbr() runs on every insert path; the
+        # generator + Rect.union_of indirection showed up in profiles).
+        r = entries[0].rect
+        minx, miny, maxx, maxy = r.minx, r.miny, r.maxx, r.maxy
+        for entry in entries:
+            r = entry.rect
+            if r.minx < minx:
+                minx = r.minx
+            if r.miny < miny:
+                miny = r.miny
+            if r.maxx > maxx:
+                maxx = r.maxx
+            if r.maxy > maxy:
+                maxy = r.maxy
+        return Rect(minx, miny, maxx, maxy)
 
     def add(self, entry: Entry) -> None:
         """Append an entry, maintaining parent links for internal nodes."""
@@ -98,9 +154,13 @@ class Node:
         elif not self.is_leaf:
             raise ValueError("data entry added to an internal node")
         self.entries.append(entry)
+        self._coords_ok = False
+        self.mut_seq += 1
 
     def remove(self, entry: Entry) -> None:
         self.entries.remove(entry)
+        self._coords_ok = False
+        self.mut_seq += 1
         if entry.child is not None:
             entry.child.parent = None
 

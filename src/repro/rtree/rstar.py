@@ -122,7 +122,59 @@ class RStarTree:
     # -- search ---------------------------------------------------------------
 
     def search(self, query: Rect) -> SearchResult:
-        """All data ids whose rectangles intersect ``query``."""
+        """All data ids whose rectangles intersect ``query``.
+
+        The per-entry test scans each node's flat coordinate cache
+        (``Node.scan_coords``) instead of calling ``Rect.intersects``
+        per entry; same closed-interval predicate, same entry order,
+        same results — see ``search_via_rects`` for the reference loop.
+        """
+        result = SearchResult()
+        matches = result.matches
+        visited_chunks = result.visited_chunks
+        qminx, qminy = query.minx, query.miny
+        qmaxx, qmaxy = query.maxx, query.maxy
+        nodes_visited = 0
+        leaf_nodes_visited = 0
+        stack = [self.root]
+        push = stack.append
+        while stack:
+            node = stack.pop()
+            nodes_visited += 1
+            visited_chunks.append(node.chunk_id)
+            coords = node._coords if node._coords_ok else node.scan_coords()
+            i = 0
+            if node.level == 0:
+                leaf_nodes_visited += 1
+                for entry in node.entries:
+                    if (
+                        coords[i] <= qmaxx
+                        and coords[i + 2] >= qminx
+                        and coords[i + 1] <= qmaxy
+                        and coords[i + 3] >= qminy
+                    ):
+                        matches.append((entry.rect, entry.data_id))
+                    i += 4
+            else:
+                for entry in node.entries:
+                    if (
+                        coords[i] <= qmaxx
+                        and coords[i + 2] >= qminx
+                        and coords[i + 1] <= qmaxy
+                        and coords[i + 3] >= qminy
+                    ):
+                        push(entry.child)
+                    i += 4
+        result.nodes_visited = nodes_visited
+        result.leaf_nodes_visited = leaf_nodes_visited
+        return result
+
+    def search_via_rects(self, query: Rect) -> SearchResult:
+        """Reference search: per-entry ``Rect.intersects``, no scan cache.
+
+        Kept as the oracle for the flat-scan property test; must return
+        byte-identical results to ``search``.
+        """
         result = SearchResult()
         stack = [self.root]
         while stack:
@@ -215,13 +267,42 @@ class RStarTree:
         result.nodes_visited += 1
         return node
 
+    # The two ChooseSubtree scans below are the insert-path hot loops.
+    # They inline the Rect metric arithmetic (union / area / enlargement /
+    # overlap_area) over the node's flat coordinate cache, preserving the
+    # exact float operation order and tie-breaking of the Rect-method
+    # originals so chosen subtrees — and therefore whole experiments at a
+    # fixed seed — are bit-identical.
+
     def _choose_min_enlargement_entry(self, node: Node, rect: Rect) -> Entry:
+        rminx, rminy = rect.minx, rect.miny
+        rmaxx, rmaxy = rect.maxx, rect.maxy
+        coords = node._coords if node._coords_ok else node.scan_coords()
         best = None
-        best_key = None
+        best_enl = best_area = 0.0
+        i = 0
         for entry in node.entries:
-            key = (entry.rect.enlargement(rect), entry.rect.area())
-            if best_key is None or key < best_key:
-                best, best_key = entry, key
+            eminx = coords[i]
+            eminy = coords[i + 1]
+            emaxx = coords[i + 2]
+            emaxy = coords[i + 3]
+            i += 4
+            # union(entry.rect, rect) — min/max with Rect.union's operand
+            # order (ties keep the entry's coordinate).
+            uminx = rminx if rminx < eminx else eminx
+            uminy = rminy if rminy < eminy else eminy
+            umaxx = rmaxx if rmaxx > emaxx else emaxx
+            umaxy = rmaxy if rmaxy > emaxy else emaxy
+            area = (emaxx - eminx) * (emaxy - eminy)
+            enl = (umaxx - uminx) * (umaxy - uminy) - area
+            if (
+                best is None
+                or enl < best_enl
+                or (enl == best_enl and area < best_area)
+            ):
+                best = entry
+                best_enl = enl
+                best_area = area
         return best
 
     def _choose_leaf_parent_entry(self, node: Node, rect: Rect) -> Entry:
@@ -231,25 +312,66 @@ class RStarTree:
             candidates = sorted(
                 candidates, key=lambda e: e.rect.enlargement(rect)
             )[:CHOOSE_SUBTREE_CANDIDATES]
+        rminx, rminy = rect.minx, rect.miny
+        rmaxx, rmaxy = rect.maxx, rect.maxy
+        coords = node._coords if node._coords_ok else node.scan_coords()
+        entries = node.entries
         best = None
-        best_key = None
+        best_overlap = best_enl = best_area = 0.0
         for entry in candidates:
-            enlarged = entry.rect.union(rect)
+            er = entry.rect
+            eminx, eminy, emaxx, emaxy = er.minx, er.miny, er.maxx, er.maxy
+            uminx = rminx if rminx < eminx else eminx
+            uminy = rminy if rminy < eminy else eminy
+            umaxx = rmaxx if rmaxx > emaxx else emaxx
+            umaxy = rmaxy if rmaxy > emaxy else emaxy
             overlap_delta = 0.0
-            for other in node.entries:
+            i = 0
+            for other in entries:
                 if other is entry:
+                    i += 4
                     continue
-                overlap_delta += (
-                    enlarged.overlap_area(other.rect)
-                    - entry.rect.overlap_area(other.rect)
+                ominx = coords[i]
+                ominy = coords[i + 1]
+                omaxx = coords[i + 2]
+                omaxy = coords[i + 3]
+                i += 4
+                # enlarged.overlap_area(other.rect)
+                ixmin = ominx if ominx > uminx else uminx
+                iymin = ominy if ominy > uminy else uminy
+                ixmax = omaxx if omaxx < umaxx else umaxx
+                iymax = omaxy if omaxy < umaxy else umaxy
+                if ixmin > ixmax or iymin > iymax:
+                    a1 = 0.0
+                else:
+                    a1 = (ixmax - ixmin) * (iymax - iymin)
+                # entry.rect.overlap_area(other.rect)
+                ixmin = ominx if ominx > eminx else eminx
+                iymin = ominy if ominy > eminy else eminy
+                ixmax = omaxx if omaxx < emaxx else emaxx
+                iymax = omaxy if omaxy < emaxy else emaxy
+                if ixmin > ixmax or iymin > iymax:
+                    a2 = 0.0
+                else:
+                    a2 = (ixmax - ixmin) * (iymax - iymin)
+                overlap_delta += a1 - a2
+            area = (emaxx - eminx) * (emaxy - eminy)
+            enl = (umaxx - uminx) * (umaxy - uminy) - area
+            if (
+                best is None
+                or overlap_delta < best_overlap
+                or (
+                    overlap_delta == best_overlap
+                    and (
+                        enl < best_enl
+                        or (enl == best_enl and area < best_area)
+                    )
                 )
-            key = (
-                overlap_delta,
-                entry.rect.enlargement(rect),
-                entry.rect.area(),
-            )
-            if best_key is None or key < best_key:
-                best, best_key = entry, key
+            ):
+                best = entry
+                best_overlap = overlap_delta
+                best_enl = enl
+                best_area = area
         return best
 
     # -- overflow: forced reinsert or split ------------------------------------
@@ -285,6 +407,7 @@ class RStarTree:
         group_a, group_b = self._choose_split(node.entries)
         sibling = self._new_node(node.level)
         node.entries = []
+        node.invalidate()
         for entry in group_a:
             node.add(entry)
         for entry in group_b:
@@ -300,6 +423,7 @@ class RStarTree:
             return
         parent = node.parent
         parent.entry_for_child(node).rect = node.mbr()
+        parent.invalidate()
         parent.add(Entry(sibling.mbr(), child=sibling))
         self._note_mutation(parent, result)
         self._adjust_path_mbrs(parent, result)
@@ -404,6 +528,7 @@ class RStarTree:
             else:
                 entry = parent.entry_for_child(node)
                 entry.rect = node.mbr()
+                parent.invalidate()
                 self._note_mutation(parent, result)
             node = parent
         self._reinserted_levels = set()
@@ -420,6 +545,7 @@ class RStarTree:
             if new_mbr == entry.rect:
                 break
             entry.rect = new_mbr
+            parent.invalidate()
             self._note_mutation(parent, result)
             node = parent
 

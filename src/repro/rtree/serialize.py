@@ -20,7 +20,7 @@ simulation's hot path moves :class:`NodeView` snapshots instead of bytes
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from .geometry import Rect
@@ -128,6 +128,14 @@ class NodeView:
     ``torn`` is True when the snapshot was taken while a server thread was
     mutating the node — the client's version check will reject it and
     retry, exactly like FaRM's per-cache-line version validation.
+
+    The entry MBRs are additionally mirrored into a flat coordinate list
+    (built lazily, once per view) so the client's per-node intersection
+    scans compare floats directly instead of calling ``Rect.intersects``
+    per entry — the same flat-scan technique the server tree uses.
+    Snapshots of quiescent nodes are cached and shared across reads (see
+    :class:`~repro.rtree.versioning.SnapshotReader`), so one coordinate
+    build amortizes over every read of the node between mutations.
     """
 
     level: int
@@ -135,14 +143,63 @@ class NodeView:
     entries: Tuple[Tuple[Rect, int], ...]  # (mbr, ref) pairs
     version: int
     torn: bool
+    #: lazy [minx, miny, maxx, maxy] * count mirror of the entry MBRs
+    _coords: Optional[List[float]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_leaf(self) -> bool:
         return self.level == 0
 
+    def scan_coords(self) -> List[float]:
+        """The flat ``[minx, miny, maxx, maxy] * count`` coordinate list."""
+        coords = self._coords
+        if coords is None:
+            coords = []
+            for rect, _ref in self.entries:
+                coords.append(rect.minx)
+                coords.append(rect.miny)
+                coords.append(rect.maxx)
+                coords.append(rect.maxy)
+            self._coords = coords
+        return coords
+
     def intersecting_refs(self, query: Rect) -> List[int]:
         """Child chunk ids (or data ids at leaves) intersecting ``query``."""
-        return [ref for rect, ref in self.entries if rect.intersects(query)]
+        coords = self._coords
+        if coords is None:
+            coords = self.scan_coords()
+        qminx = query.minx
+        qminy = query.miny
+        qmaxx = query.maxx
+        qmaxy = query.maxy
+        out: List[int] = []
+        i = 0
+        for entry in self.entries:
+            if (coords[i] <= qmaxx and coords[i + 2] >= qminx
+                    and coords[i + 1] <= qmaxy and coords[i + 3] >= qminy):
+                out.append(entry[1])
+            i += 4
+        return out
+
+    def intersecting_entries(self, query: Rect) -> List[Tuple[Rect, int]]:
+        """The ``(mbr, ref)`` pairs intersecting ``query`` (leaf matches)."""
+        coords = self._coords
+        if coords is None:
+            coords = self.scan_coords()
+        qminx = query.minx
+        qminy = query.miny
+        qmaxx = query.maxx
+        qmaxy = query.maxy
+        out: List[Tuple[Rect, int]] = []
+        i = 0
+        for entry in self.entries:
+            if (coords[i] <= qmaxx and coords[i + 2] >= qminx
+                    and coords[i + 1] <= qmaxy and coords[i + 3] >= qminy):
+                out.append(entry)
+            i += 4
+        return out
 
 
 def pack_node_torn(node: Node, max_entries: int = DEFAULT_MAX_ENTRIES,

@@ -64,12 +64,24 @@ def validate_snapshot(view: NodeView) -> bool:
 
 
 class SnapshotReader:
-    """Server-side service for one-sided reads with retry accounting."""
+    """Server-side service for one-sided reads with retry accounting.
+
+    Quiescent snapshots are cached per chunk and shared across reads: a
+    node that has not mutated since the last read returns the *same*
+    :class:`NodeView` instance instead of re-snapshotting every entry.
+    The stamp is ``(node identity, version, mut_seq)`` — the same triple
+    the byte-mode chunk cache uses (``version`` only bumps when the write
+    window closes, ``mut_seq`` at the mutation itself, and the node
+    identity guards recycled chunk ids).  Torn snapshots (a writer is
+    mid-mutation) always bypass the cache.
+    """
 
     def __init__(self, nodes: Dict[int, Node]):
         self._nodes = nodes
         self.reads = 0
         self.torn_reads = 0
+        self.cached_reads = 0
+        self._cache: Dict[int, tuple] = {}
 
     def read_chunk(self, chunk_id: int, now: float) -> NodeView:
         """Snapshot a chunk as the NIC's DMA engine would see it."""
@@ -81,7 +93,15 @@ class SnapshotReader:
             self.torn_reads += 1
             return NodeView(level=0, chunk_id=chunk_id, entries=(),
                             version=-1, torn=True)
-        view = snapshot_node(node, now)
-        if view.torn:
+        if node.active_writers > 0:
             self.torn_reads += 1
+            return snapshot_node(node, now)
+        cached = self._cache.get(chunk_id)
+        if (cached is not None and cached[0] is node
+                and cached[1] == node.version
+                and cached[2] == node.mut_seq):
+            self.cached_reads += 1
+            return cached[3]
+        view = snapshot_node(node, now)
+        self._cache[chunk_id] = (node, node.version, node.mut_seq, view)
         return view

@@ -15,7 +15,7 @@ Owns everything scheme-independent:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Sequence, Tuple
+from typing import Dict, Generator, Optional, Sequence, Tuple
 
 from ..hw.host import Host
 from ..hw.memory import ChunkAllocator
@@ -23,7 +23,13 @@ from ..rtree.bulk import bulk_load
 from ..rtree.geometry import Rect
 from ..rtree.locks import TreeLockManager
 from ..rtree.node import DEFAULT_MAX_ENTRIES
-from ..rtree.serialize import NodeView, chunk_size
+from ..rtree.serialize import (
+    NodeView,
+    chunk_size,
+    garbage_chunk,
+    pack_node,
+    pack_node_torn,
+)
 from ..rtree.versioning import SnapshotReader, WriteTracker
 from ..sim.kernel import Simulator
 from .costs import DEFAULT_COSTS, CostModel
@@ -84,31 +90,54 @@ class ByteTreeChunkTarget:
     client must run the actual FaRM validation on the bytes — nothing is
     signalled out of band.  Used to verify that the chunk codec carries
     everything the offloaded traversal needs.
+
+    Packed images are cached per chunk, stamped with the node identity
+    and its ``(version, mut_seq)`` pair, so repeated quiescent reads of
+    the same node return the same bytes without re-packing.  ``version``
+    alone cannot key the cache: the tree mutates *before* the simulated
+    write window closes (which is when ``version`` bumps), so ``mut_seq``
+    — bumped at the mutation itself — covers that gap.  Keeping the node
+    object in the stamp guards against a freed chunk id being recycled
+    for a new node whose counters happen to collide.  Torn and garbage
+    reads bypass the cache entirely.
     """
 
     def __init__(self, server: "RTreeServer"):
         self._server = server
         self.reads = 0
         self.torn_reads = 0
+        self.cached_reads = 0
+        self._cache: Dict[int, Tuple[object, int, int, bytes]] = {}
+        self._garbage: Optional[bytes] = None
 
     def rdma_read(self, address: int, length: int, now: float) -> bytes:
-        from ..rtree.serialize import (
-            garbage_chunk,
-            pack_node,
-            pack_node_torn,
-        )
         chunk_id = self._server.allocator.chunk_of(address)
         node = self._server.tree.nodes.get(chunk_id)
         self.reads += 1
         max_entries = self._server.max_entries
         if node is None:
             self.torn_reads += 1
-            return garbage_chunk(max_entries)
+            # Recycled-memory garbage is deterministic per chunk size.
+            garbage = self._garbage
+            if garbage is None:
+                garbage = self._garbage = garbage_chunk(max_entries)
+            return garbage
         if node.active_writers > 0:
             self.torn_reads += 1
             # Mid-write image: version numbers straddle the update.
             return pack_node_torn(node, max_entries)
-        return pack_node(node, max_entries)
+        cached = self._cache.get(chunk_id)
+        if (
+            cached is not None
+            and cached[0] is node
+            and cached[1] == node.version
+            and cached[2] == node.mut_seq
+        ):
+            self.cached_reads += 1
+            return cached[3]
+        data = pack_node(node, max_entries)
+        self._cache[chunk_id] = (node, node.version, node.mut_seq, data)
+        return data
 
     def rdma_write(self, address: int, length: int, payload, now: float):
         raise PermissionError(

@@ -9,6 +9,13 @@ not available offline): a process yields *events* and is resumed when the
 event triggers, receiving the event's value.  Simulated time only advances
 between events; callbacks run at a single instant.
 
+Because every simulated RDMA op costs a handful of events, this module is
+the hottest code in the repository and is written accordingly: all event
+classes use ``__slots__``, the run loops are inlined (no per-event method
+dispatch), :class:`Timeout` objects for the pervasive fixed-delay case are
+pooled, and interrupt bookkeeping is O(1) (a tombstone check instead of a
+linear ``callbacks.remove``).  See ``docs/performance.md`` for numbers.
+
 Example
 -------
 >>> sim = Simulator()
@@ -24,13 +31,27 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 #: Sentinel priority: events scheduled with URGENT run before NORMAL ones
 #: that were scheduled for the same simulated instant.
 URGENT = 0
 NORMAL = 1
+
+#: Heap entries are ``(time, key, event)`` where ``key`` packs priority and
+#: schedule sequence into one int: ``(priority << 62) | seq``.  Comparing a
+#: single int resolves the frequent same-instant ties in one step instead
+#: of two tuple elements, and keys are unique so the event itself is never
+#: compared.
+_PRIO_SHIFT = 62
+_NORMAL_KEY = NORMAL << _PRIO_SHIFT
+
+_heappush = heapq.heappush
+
+#: Upper bound on the simulator's :class:`Timeout` free list.  A run's
+#: working set of concurrently pending timeouts rarely exceeds the number
+#: of live processes; the cap just bounds worst-case memory.
+_TIMEOUT_POOL_MAX = 4096
 
 
 class SimulationError(Exception):
@@ -61,6 +82,8 @@ class Event:
     *processed* once its callbacks have run.  Processes wait on events by
     yielding them.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -101,7 +124,9 @@ class Event:
             raise EventAlreadyTriggered(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, NORMAL)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        _heappush(sim._queue, (sim.now, _NORMAL_KEY + seq, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -112,7 +137,9 @@ class Event:
             raise TypeError(f"{exception!r} is not an exception")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, NORMAL)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        _heappush(sim._queue, (sim.now, _NORMAL_KEY + seq, self))
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
@@ -131,7 +158,18 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers ``delay`` time units after creation.
+
+    Instances created through :meth:`Simulator.timeout` are recycled into a
+    per-simulator free list once processed (exact-type check; subclasses
+    are never pooled).  A recycled instance is fully re-initialized on
+    reuse, so every ``sim.timeout()`` call observably behaves like a fresh
+    event.  The one caveat: a Timeout must not be *inspected* (``.value``)
+    after the instant it fired — composites capture values at callback
+    time for exactly this reason.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
@@ -140,18 +178,22 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        sim._schedule(self, NORMAL, delay)
+        sim._seq = seq = sim._seq + 1
+        _heappush(sim._queue, (sim.now + delay, _NORMAL_KEY + seq, self))
 
 
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
         self._ok = True
         self._value = None
         self.callbacks.append(process._resume)
-        sim._schedule(self, URGENT)
+        sim._seq = seq = sim._seq + 1
+        _heappush(sim._queue, (sim.now, seq, self))
 
 
 class Process(Event):
@@ -164,14 +206,19 @@ class Process(Event):
     exception.
     """
 
+    __slots__ = ("name", "_generator", "_target", "_interrupts")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
-        self._target: Optional[Event] = None
-        Initialize(sim, self)
+        #: Events whose wake-up this process still expects: the event it is
+        #: waiting on (``_target``) plus any pending interrupt deliveries.
+        #: Anything else calling back is a tombstoned (abandoned) event.
+        self._interrupts: List[Event] = []
+        self._target: Optional[Event] = Initialize(sim, self)
 
     @property
     def is_alive(self) -> bool:
@@ -183,38 +230,50 @@ class Process(Event):
 
         Interrupting a dead process is an error; interrupting a process
         twice before it handles the first is allowed (both are delivered).
+
+        The event the process was waiting on is *abandoned*, not edited:
+        its callback list keeps the stale ``_resume`` entry (a tombstone
+        discarded in O(1) when the event eventually fires) instead of
+        paying an O(n) ``callbacks.remove`` here.
         """
-        if not self.is_alive:
+        if self._ok is not None:
             raise SimulationError(f"cannot interrupt dead process {self.name}")
         if self._target is self.sim._active_event:
             raise SimulationError("a process cannot interrupt itself")
-        # Detach from the event we were waiting on so its later trigger does
-        # not resume us a second time.
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        # Abandon the event we were waiting on; its later trigger is
+        # recognized as stale in _resume (tombstone, no list surgery).
         self._target = None
         event = Event(self.sim)
         event._ok = False
         event._value = Interrupt(cause)
         event.defused = True
         event.callbacks.append(self._resume)
-        self.sim._schedule(event, URGENT)
+        self._interrupts.append(event)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        _heappush(sim._queue, (sim.now, seq, event))
 
     def _resume(self, event: Event) -> None:
-        if not self.is_alive:
+        if self._ok is not None:
             # Stale wake-up (e.g. the event we abandoned on interrupt).
-            if not event._ok:
+            if event._ok is False:
                 event.defused = True
             return
-        self.sim._active_process = self
-        self.sim._active_event = None
+        if event is not self._target:
+            # Either a pending interrupt delivery or a stale wake-up from
+            # an event abandoned by interrupt().
+            try:
+                self._interrupts.remove(event)
+            except ValueError:
+                if event._ok is False:
+                    event.defused = True
+                return
+        sim = self.sim
+        generator = self._generator
         while True:
             if event._ok:
                 try:
-                    target = self._generator.send(event._value)
+                    target = generator.send(event._value)
                 except StopIteration as exc:
                     self._finish(True, exc.value)
                     break
@@ -224,7 +283,7 @@ class Process(Event):
             else:
                 event.defused = True
                 try:
-                    target = self._generator.throw(event._value)
+                    target = generator.throw(event._value)
                 except StopIteration as exc:
                     self._finish(True, exc.value)
                     break
@@ -232,45 +291,60 @@ class Process(Event):
                     self._finish(False, exc)
                     break
 
-            if not isinstance(target, Event):
+            try:
+                # Duck-typed: anything with a callbacks list is an event.
+                # (Avoids an isinstance per resume on the hottest path.)
+                target_callbacks = target.callbacks
+            except AttributeError:
                 exc = SimulationError(
                     f"process {self.name!r} yielded {target!r}, not an Event"
                 )
-                event = Event(self.sim)
+                event = Event(sim)
                 event._ok = False
                 event._value = exc
                 event.defused = True
                 continue
-            if target.processed:
+            if target_callbacks is None:
                 # Already-processed events resume the process immediately.
                 event = target
                 continue
-            target.add_callback(self._resume)
+            target_callbacks.append(self._resume)
             self._target = target
-            self.sim._active_event = target
             break
-        self.sim._active_process = None
-        self.sim._active_event = None
 
     def _finish(self, ok: bool, value: Any) -> None:
         self._target = None
         self._ok = ok
         self._value = value
-        if not ok:
-            # If nobody is waiting on this process, the failure must surface.
-            if not self.callbacks:
+        if not self.callbacks:
+            if not ok:
+                # Nobody is waiting on this process: the failure must
+                # surface.
                 self.sim._crash(value)
                 return
-        self.sim._schedule(self, NORMAL)
+            # Nobody is waiting: mark the event processed right away
+            # instead of scheduling a queue entry that would run zero
+            # callbacks.  A process that yields this event later resumes
+            # through the already-processed path, and removing the no-op
+            # entry only shifts later sequence numbers uniformly, so
+            # same-instant tie-breaking among the remaining events is
+            # unchanged (same argument as ``Store.put_discard``).
+            self.callbacks = None
+            return
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        _heappush(sim._queue, (sim.now, _NORMAL_KEY + seq, self))
 
 
 class Simulator:
-    """The event loop: a priority queue of (time, priority, seq, event)."""
+    """The event loop: a priority queue of ``(time, key, event)`` entries
+    (``key`` packs priority and schedule sequence, see ``_PRIO_SHIFT``)."""
 
     def __init__(self, start_time: float = 0.0):
         self.now: float = start_time
         self._queue: List = []
-        self._seq = itertools.count()
+        self._seq = 0
+        self._timeout_pool: List[Timeout] = []
         self._active_process: Optional[Process] = None
         self._active_event: Optional[Event] = None
         self._pending_crash: Optional[BaseException] = None
@@ -278,8 +352,10 @@ class Simulator:
     # -- scheduling ------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue, (self.now + delay, priority, next(self._seq), event)
+        self._seq = seq = self._seq + 1
+        _heappush(
+            self._queue,
+            (self.now + delay, (priority << _PRIO_SHIFT) + seq, event),
         )
 
     def _crash(self, exc: BaseException) -> None:
@@ -294,7 +370,28 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that triggers after ``delay`` time units."""
+        """Create an event that triggers after ``delay`` time units.
+
+        Reuses a pooled instance when one is available (every field is
+        re-initialized, so the returned event is indistinguishable from a
+        fresh one).
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timeout = pool.pop()
+            # The pooled instance kept its (cleared) callbacks list — see
+            # the recycle sites in step()/run() — so no list is allocated.
+            timeout._ok = True
+            timeout._value = value
+            timeout.defused = False
+            timeout.delay = delay
+            self._seq = seq = self._seq + 1
+            _heappush(
+                self._queue, (self.now + delay, _NORMAL_KEY + seq, timeout)
+            )
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -312,26 +409,58 @@ class Simulator:
         """Process exactly one event."""
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        time, _prio, _seq, event = heapq.heappop(self._queue)
+        time, _key, event = heapq.heappop(self._queue)
         self.now = time
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not event.defused:
-            self._crash(event._value)
+        if event._ok is False:
+            if not event.defused:
+                self._crash(event._value)
+        elif (type(event) is Timeout
+              and len(self._timeout_pool) < _TIMEOUT_POOL_MAX):
+            callbacks.clear()
+            event.callbacks = callbacks
+            self._timeout_pool.append(event)
         if self._pending_crash is not None:
             exc, self._pending_crash = self._pending_crash, None
             raise exc
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue drains or simulated time reaches ``until``."""
+        """Run until the queue drains or simulated time reaches ``until``.
+
+        An event scheduled *exactly* at ``until`` is still processed (the
+        clock stops strictly after ``until`` is exceeded).
+        """
         if until is not None and until < self.now:
             raise ValueError(f"until={until} is in the past (now={self.now})")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        # Hot loop: the body of step() is inlined (one method call per
+        # event otherwise dominates the kernel's own work).
+        queue = self._queue
+        pool = self._timeout_pool
+        heappop = heapq.heappop
+        while queue:
+            if until is not None and queue[0][0] > until:
                 self.now = until
                 return
-            self.step()
+            time, _key, event = heappop(queue)
+            self.now = time
+            callbacks = event.callbacks
+            event.callbacks = None
+            for callback in callbacks:
+                callback(event)
+            if event._ok is False:
+                if not event.defused:
+                    self._crash(event._value)
+            elif (type(event) is Timeout
+                  and len(pool) < _TIMEOUT_POOL_MAX):
+                callbacks.clear()
+                event.callbacks = callbacks
+                pool.append(event)
+            if self._pending_crash is not None:
+                exc, self._pending_crash = self._pending_crash, None
+                raise exc
         if until is not None:
             self.now = until
 
@@ -342,12 +471,32 @@ class Simulator:
         :class:`SimulationError` if the queue drains (or ``limit`` simulated
         time is reached) before the event triggers.
         """
-        while not event.triggered:
-            if not self._queue:
+        queue = self._queue
+        pool = self._timeout_pool
+        heappop = heapq.heappop
+        while event._ok is None:
+            if not queue:
                 raise SimulationError("queue drained before event triggered")
-            if self._queue[0][0] > limit:
+            if queue[0][0] > limit:
                 raise SimulationError(f"event not triggered by t={limit}")
-            self.step()
+            # Inlined step() body (see run()).
+            time, _key, current = heappop(queue)
+            self.now = time
+            callbacks = current.callbacks
+            current.callbacks = None
+            for callback in callbacks:
+                callback(current)
+            if current._ok is False:
+                if not current.defused:
+                    self._crash(current._value)
+            elif (type(current) is Timeout
+                  and len(pool) < _TIMEOUT_POOL_MAX):
+                callbacks.clear()
+                current.callbacks = callbacks
+                pool.append(current)
+            if self._pending_crash is not None:
+                exc, self._pending_crash = self._pending_crash, None
+                raise exc
         if not event._ok:
             event.defused = True
             raise event._value
@@ -359,6 +508,10 @@ def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
 
     Its value is the list of the constituent events' values, in input order.
     If any constituent fails, the composite fails with that exception (once).
+
+    Values are captured at each constituent's trigger instant (not when the
+    composite completes), so pooled :class:`Timeout` constituents report
+    the value they actually fired with.
     """
     events = list(events)
     composite = sim.event()
@@ -366,24 +519,31 @@ def all_of(sim: Simulator, events: Iterable[Event]) -> Event:
         composite.succeed([])
         return composite
     remaining = [len(events)]
+    values: List[Any] = [None] * len(events)
 
-    def _check(_event: Event) -> None:
-        if composite.triggered:
-            return
-        if not _event._ok:
-            _event.defused = True
-            composite.fail(_event._value)
-            return
-        remaining[0] -= 1
-        if remaining[0] == 0:
-            composite.succeed([e._value for e in events])
+    def _make(index: int) -> Callable[[Event], None]:
+        def _check(_event: Event) -> None:
+            if composite._ok is not None:
+                if _event._ok is False:
+                    _event.defused = True
+                return
+            if _event._ok is False:
+                _event.defused = True
+                composite.fail(_event._value)
+                return
+            values[index] = _event._value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                composite.succeed(values)
+        return _check
 
-    for event in events:
-        if event.processed:
+    for index, event in enumerate(events):
+        callback = _make(index)
+        if event.callbacks is None:
             # Feed processed events through the same path immediately.
-            _check(event)
+            callback(event)
         else:
-            event.add_callback(_check)
+            event.callbacks.append(callback)
     return composite
 
 
@@ -391,7 +551,10 @@ def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
     """An event that succeeds when the first of ``events`` succeeds.
 
     Its value is ``(index, value)`` of the first event to trigger.  Fails if
-    the first event to trigger failed.
+    the first event to trigger failed.  Once the composite has triggered,
+    every remaining constituent — pending *or* already processed — that
+    turns out to have failed is defused, so a lost race cannot crash the
+    run.
     """
     events = list(events)
     if not events:
@@ -400,8 +563,8 @@ def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
 
     def _make(index: int) -> Callable[[Event], None]:
         def _check(_event: Event) -> None:
-            if composite.triggered:
-                if not _event._ok:
+            if composite._ok is not None:
+                if _event._ok is False:
                     _event.defused = True
                 return
             if _event._ok:
@@ -413,10 +576,11 @@ def any_of(sim: Simulator, events: Iterable[Event]) -> Event:
 
     for index, event in enumerate(events):
         callback = _make(index)
-        if event.processed:
+        if event.callbacks is None:
+            # Already processed: feed it through the same path.  This also
+            # covers processed *failures* seen after the composite
+            # triggered — they must be defused, not skipped.
             callback(event)
-            if composite.triggered:
-                break
         else:
-            event.add_callback(callback)
+            event.callbacks.append(callback)
     return composite

@@ -28,6 +28,8 @@ class Request(Event):
             ...
     """
 
+    __slots__ = ("resource", "released")
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
@@ -75,12 +77,19 @@ class Resource:
     def _on_request(self, request: Request) -> None:
         if self._users < self.capacity:
             self._users += 1
-            request.succeed()
+            # Uncontended grant: trigger *and* mark processed in one step.
+            # The requester's ``yield`` then resumes through the kernel's
+            # already-processed path instead of paying a queue round-trip
+            # for an event with a single, known callback.  Contended
+            # grants (below, and in ``_on_release``) still go through the
+            # queue, so FIFO fairness and wake-up ordering are untouched.
+            request._ok = True
+            request.callbacks = None
         else:
             self._waiting.append(request)
 
     def _on_release(self, request: Request) -> None:
-        if not request.triggered:
+        if request._ok is None:  # not triggered yet
             # Cancelled before being granted: drop from the wait queue.
             try:
                 self._waiting.remove(request)
@@ -97,6 +106,8 @@ class Resource:
 class StoreGet(Event):
     """Pending ``get`` on a :class:`Store`; value is the retrieved item."""
 
+    __slots__ = ()
+
     def __init__(self, store: "Store"):
         super().__init__(store.sim)
         store._on_get(self)
@@ -109,6 +120,8 @@ class StoreGet(Event):
 
 class StorePut(Event):
     """Pending ``put`` on a bounded :class:`Store`."""
+
+    __slots__ = ("item",)
 
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.sim)
@@ -139,23 +152,55 @@ class Store:
         """Add ``item``; blocks (stays pending) if the store is full."""
         return StorePut(self, item)
 
+    def put_discard(self, item: Any) -> None:
+        """Deposit ``item`` without creating an acknowledgement event.
+
+        Behaviourally identical to calling :meth:`put` and discarding the
+        returned event: on an unbounded store the put succeeds instantly,
+        and an instantly-succeeded event nobody holds runs zero callbacks
+        when it pops — pure event-queue overhead.  Hot no-ack producers
+        (completion queues, notification channels) use this instead.
+        Bounded stores must use :meth:`put` (the ack event is how their
+        back-pressure is expressed).
+        """
+        if self.capacity is not None:
+            raise ValueError("put_discard() requires an unbounded store")
+        self.items.append(item)
+        if self._getters:
+            self._match()
+
     def get(self) -> StoreGet:
         """Remove and return the oldest item; blocks while empty."""
         return StoreGet(self)
 
     def _on_put(self, put: StorePut) -> None:
         self.items.append(put.item)
-        put.succeed()
-        self._match()
+        # An unbounded put always succeeds at once: trigger and mark
+        # processed in one step (see Resource._on_request) so the putter
+        # resumes inline instead of paying a queue round-trip.
+        put._ok = True
+        put.callbacks = None
+        if self._getters:
+            self._match()
 
     def _on_get(self, get: StoreGet) -> None:
+        if self.items and not self._getters:
+            # Item already buffered and nobody queued ahead: serve
+            # synchronously (``_match`` invariant guarantees the two
+            # deques are never both non-empty between operations).
+            get._ok = True
+            get._value = self.items.popleft()
+            get.callbacks = None
+            if self._putters:
+                self._match()
+            return
         self._getters.append(get)
         self._match()
 
     def _match(self) -> None:
         while self._getters and self.items:
             getter = self._getters.popleft()
-            if getter.triggered or getter.defused:
+            if getter._ok is not None or getter.defused:
                 continue
             getter.succeed(self.items.popleft())
         # Unblock putters while there is room.
@@ -183,6 +228,8 @@ class BoundedStore(Store):
 
 
 class ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError(f"amount must be > 0, got {amount}")
@@ -192,6 +239,8 @@ class ContainerGet(Event):
 
 
 class ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, container: "Container", amount: float):
         if amount <= 0:
             raise ValueError(f"amount must be > 0, got {amount}")
@@ -226,10 +275,28 @@ class Container:
         return ContainerPut(self, amount)
 
     def _on_get(self, get: ContainerGet) -> None:
+        if not self._getters and get.amount <= self.level:
+            # Immediately satisfiable with nobody queued ahead: take the
+            # quantity and mark the event processed in one step (see
+            # Resource._on_request).  The freed headroom may unblock a
+            # queued putter, exactly as in the queued path.
+            self.level -= get.amount
+            get._ok = True
+            get.callbacks = None
+            if self._putters:
+                self._match()
+            return
         self._getters.append(get)
         self._match()
 
     def _on_put(self, put: ContainerPut) -> None:
+        if not self._putters and self.level + put.amount <= self.capacity:
+            self.level += put.amount
+            put._ok = True
+            put.callbacks = None
+            if self._getters:
+                self._match()
+            return
         self._putters.append(put)
         self._match()
 

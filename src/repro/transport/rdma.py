@@ -39,6 +39,10 @@ WRITE_IMM = "write_imm"
 READ = "read"
 RECV_IMM = "recv_imm"
 
+#: Sentinel deposited into a CompletionChannel's store per notification
+#: (the woken thread never inspects it).
+_NOTIFICATION = object()
+
 
 class RdmaError(Exception):
     """Raised for verb misuse (posting on a torn-down QP, etc.)."""
@@ -87,17 +91,20 @@ class CompletionQueue:
         self._channel = channel
 
     def push(self, completion: Completion) -> None:
+        # put_discard: the put's ack event would never be waited on, so
+        # pushing a WC costs no event-queue traffic at all.
         self.total_completions += 1
-        self._store.put(completion)
+        self._store.put_discard(completion)
         if self._channel is not None:
             self._channel.notify()
 
     def poll(self) -> Optional[Completion]:
         """Non-blocking: the oldest completion, or None."""
-        if self._store.items:
-            get = self._store.get()
-            # Store.get on a non-empty store triggers synchronously.
-            return get.value
+        items = self._store.items
+        if items:
+            # Direct dequeue; a Store.get here would trigger synchronously
+            # and leave a no-op event on the queue.
+            return items.popleft()
         return None
 
     def wait(self):
@@ -123,7 +130,7 @@ class CompletionChannel:
 
     def notify(self) -> None:
         self.wakeups += 1
-        self._store.put(object())
+        self._store.put_discard(_NOTIFICATION)
 
     def wait(self):
         """Event yielding when the next notification arrives."""
@@ -150,6 +157,10 @@ class QpEndpoint:
         self.remote = remote
         self.cq = cq or CompletionQueue(sim, name=f"{name}.cq")
         self.name = name
+        # Pre-rendered process names (post_write/post_read are hot enough
+        # that a per-post f-string shows up in profiles).
+        self._write_name = f"{name}.write"
+        self._read_name = f"{name}.read"
         self.peer: Optional["QpEndpoint"] = None
         self.destroyed = False
         # Counters for experiment reporting.
@@ -187,7 +198,7 @@ class QpEndpoint:
         self.sim.process(
             self._do_write(rkey, remote_addr, payload, length, imm,
                            wr_id, signaled, done),
-            name=f"{self.name}.write",
+            name=self._write_name,
         )
         return done
 
@@ -212,7 +223,7 @@ class QpEndpoint:
         done = self.sim.event()
         self.sim.process(
             self._do_read(rkey, remote_addr, length, wr_id, done),
-            name=f"{self.name}.read",
+            name=self._read_name,
         )
         return done
 
@@ -223,9 +234,6 @@ class QpEndpoint:
             raise RdmaError(f"QP {self.name} has been destroyed")
         if self.peer is None:
             raise RdmaError(f"QP {self.name} is not connected")
-
-    def _profile(self):
-        return self.network.profile
 
     def _do_write(
         self,
@@ -238,17 +246,25 @@ class QpEndpoint:
         signaled: bool,
         done: Event,
     ) -> Generator:
-        profile = self._profile()
-        yield self.sim.timeout(profile.rdma_post_overhead_s)
-        yield from self.local.nic.process_wqe()
+        # NIC WQE processing is inlined (one timeout each) — process_wqe()
+        # is a generator wrapper, and this path underlies every message.
+        sim = self.sim
+        profile = self.network.profile
+        wqe_s = profile.rdma_nic_processing_s
+        yield sim.timeout(profile.rdma_post_overhead_s)
+        local_nic = self.local.nic
+        local_nic.ops_processed += 1
+        yield sim.timeout(wqe_s)
         yield from self.network.transfer(
             self.local, self.remote, ib_wire_size(length)
         )
-        yield from self.remote.nic.process_wqe()
+        remote_nic = self.remote.nic
+        remote_nic.ops_processed += 1
+        yield sim.timeout(wqe_s)
         completion: Optional[Completion] = None
         try:
             target = self._validated_target(rkey, remote_addr, max(length, 1))
-            target.rdma_write(remote_addr, length, payload, self.sim.now)
+            target.rdma_write(remote_addr, length, payload, sim.now)
         except Exception as exc:  # protection fault -> failed completion
             completion = Completion(wr_id, WRITE, ok=False, error=exc)
         if completion is None and imm is not None:
@@ -277,20 +293,26 @@ class QpEndpoint:
         wr_id: int,
         done: Event,
     ) -> Generator:
-        profile = self._profile()
-        yield self.sim.timeout(profile.rdma_post_overhead_s)
-        slot = self.local.nic.acquire_read_slot()
+        sim = self.sim
+        profile = self.network.profile
+        wqe_s = profile.rdma_nic_processing_s
+        yield sim.timeout(profile.rdma_post_overhead_s)
+        local_nic = self.local.nic
+        slot = local_nic.acquire_read_slot()
         yield slot
         try:
-            yield from self.local.nic.process_wqe()
+            local_nic.ops_processed += 1
+            yield sim.timeout(wqe_s)
             yield from self.network.transfer(
                 self.local, self.remote, IB_READ_REQUEST_SIZE
             )
             # Remote side: NIC-only processing; DMA snapshot taken here.
-            yield from self.remote.nic.process_wqe()
+            remote_nic = self.remote.nic
+            remote_nic.ops_processed += 1
+            yield sim.timeout(wqe_s)
             try:
                 target = self._validated_target(rkey, remote_addr, length)
-                data = target.rdma_read(remote_addr, length, self.sim.now)
+                data = target.rdma_read(remote_addr, length, sim.now)
             except Exception as exc:
                 yield from self.network.transfer(
                     self.remote, self.local, IB_ACK_SIZE
@@ -300,7 +322,8 @@ class QpEndpoint:
             yield from self.network.transfer(
                 self.remote, self.local, ib_wire_size(length)
             )
-            yield from self.local.nic.process_wqe()
+            local_nic.ops_processed += 1
+            yield sim.timeout(wqe_s)
             completion = Completion(wr_id, READ, value=data, length=length)
             self.cq.push(completion)
             done.succeed(data)

@@ -166,3 +166,79 @@ class TestSimulatorProperties:
             return log
 
         assert run_once() == run_once()
+
+
+def _rects(draw_floats):
+    """Strategy for valid Rects from two corner points."""
+    return st.builds(
+        lambda x1, y1, x2, y2: Rect(min(x1, x2), min(y1, y2),
+                                    max(x1, x2), max(y1, y2)),
+        draw_floats, draw_floats, draw_floats, draw_floats,
+    )
+
+
+class TestFlatScanEquivalence:
+    """The flat-coordinate scan kernels must be byte-identical to the
+    per-entry ``Rect.intersects`` reference paths."""
+
+    _coord = st.floats(0.0, 1.0, allow_nan=False, width=32)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(_rects(_coord), min_size=1, max_size=120),
+        st.lists(st.integers(0, 119), max_size=30),
+        st.lists(_rects(_coord), min_size=1, max_size=8),
+    )
+    def test_tree_search_matches_rect_intersects_oracle(
+        self, rects, delete_picks, queries
+    ):
+        """Random insert/delete schedules, random queries: the optimized
+        ``search`` equals the pre-cache ``search_via_rects`` loop."""
+        from repro.rtree import RStarTree
+
+        tree = RStarTree(max_entries=8)
+        live = []
+        for i, rect in enumerate(rects):
+            tree.insert(rect, i)
+            live.append((rect, i))
+        for pick in delete_picks:
+            if not live:
+                break
+            rect, data_id = live.pop(pick % len(live))
+            tree.delete(rect, data_id)
+        for query in queries:
+            fast = tree.search(query)
+            oracle = tree.search_via_rects(query)
+            assert fast.matches == oracle.matches
+            assert fast.visited_chunks == oracle.visited_chunks
+            assert fast.nodes_visited == oracle.nodes_visited
+            assert fast.leaf_nodes_visited == oracle.leaf_nodes_visited
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(_rects(_coord), min_size=1, max_size=64),
+        _rects(_coord),
+    )
+    def test_node_view_flat_scan_matches_intersects(self, rects, query):
+        """NodeView.intersecting_refs/entries equal the naive per-entry
+        ``Rect.intersects`` scan of the same snapshot."""
+        from repro.rtree.serialize import NodeView
+
+        entries = tuple((rect, i) for i, rect in enumerate(rects))
+        view = NodeView(level=0, chunk_id=0, entries=entries,
+                        version=1, torn=False)
+        naive_entries = [e for e in entries if e[0].intersects(query)]
+        naive_refs = [ref for rect, ref in entries
+                      if rect.intersects(query)]
+        assert view.intersecting_entries(query) == naive_entries
+        assert view.intersecting_refs(query) == naive_refs
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(_rects(_coord), min_size=1, max_size=500),
+           _rects(_coord))
+    def test_bulk_loaded_tree_search_matches_oracle(self, rects, query):
+        tree = bulk_load([(rect, i) for i, rect in enumerate(rects)])
+        fast = tree.search(query)
+        oracle = tree.search_via_rects(query)
+        assert fast.matches == oracle.matches
+        assert fast.visited_chunks == oracle.visited_chunks

@@ -453,3 +453,135 @@ def test_many_processes_scale():
         sim.process(proc(sim, i))
     sim.run()
     assert len(done) == 1000
+
+
+# -- edge cases around the optimized fast paths ------------------------------
+
+
+def test_interrupt_at_same_instant_as_abandoned_trigger():
+    """Interrupt delivered at the very instant the abandoned event fires.
+
+    The interrupter runs first at t=5 (created first, so its timeout pops
+    first) and interrupts the victim; the victim's own t=5 timeout — now
+    abandoned — pops at the same instant and must be discarded as a stale
+    wake-up, resuming the victim exactly once (with the Interrupt).
+    """
+    sim = Simulator()
+    events = []
+
+    def interrupter(sim, get_victim):
+        yield sim.timeout(5.0)
+        get_victim().interrupt(cause="now")
+
+    def victim(sim):
+        try:
+            yield sim.timeout(5.0)
+            events.append("timeout")
+        except Interrupt as exc:
+            events.append(("interrupted", exc.cause, sim.now))
+        # Keep living past the instant so the stale trigger has a live
+        # process to (wrongly) wake; it must not.
+        yield sim.timeout(1.0)
+        events.append("done")
+
+    holder = {}
+    sim.process(interrupter(sim, lambda: holder["v"]))
+    holder["v"] = sim.process(victim(sim))
+    sim.run()
+    assert events == [("interrupted", "now", 5.0), "done"]
+
+
+def test_timeout_pooling_returns_fresh_values():
+    """Recycled Timeout instances must be indistinguishable from fresh
+    ones: every wait sees exactly the value/delay it asked for."""
+    sim = Simulator()
+    seen = []
+
+    def looper(sim, n):
+        for i in range(n):
+            value = yield sim.timeout(0.25, value=("tick", i))
+            seen.append((sim.now, value))
+
+    sim.process(looper(sim, 200))
+    sim.run()
+    assert len(seen) == 200
+    for i, (now, value) in enumerate(seen):
+        assert value == ("tick", i)
+        assert now == pytest.approx(0.25 * (i + 1))
+
+
+def test_timeout_pool_reuses_instances():
+    """After a timeout is processed its instance may be recycled; a
+    subsequent sim.timeout() must still behave like a brand-new event."""
+    sim = Simulator()
+    first = sim.timeout(1.0, value="a")
+    sim.run()
+    second = sim.timeout(2.0, value="b")
+    assert second.triggered and not second.processed
+    assert second.delay == 2.0
+    sim.run()
+    assert second.value == "b"
+    assert sim.now == 3.0
+    # Whether or not `second is first`, the observable state is fresh.
+    assert first.delay in (1.0, 2.0)
+
+
+def test_run_until_processes_event_exactly_at_until():
+    """run(until=t) must still process an event scheduled exactly at t."""
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        fired.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=10.0)
+    assert fired == [10.0]
+    assert sim.now == 10.0
+    # And an event strictly after `until` is left on the queue.
+    sim2 = Simulator()
+
+    def late(sim):
+        yield sim.timeout(10.0000001)
+        fired.append("late")
+
+    sim2.process(late(sim2))
+    sim2.run(until=10.0)
+    assert "late" not in fired
+    assert sim2.now == 10.0
+
+
+def test_finished_process_with_no_waiter_is_processed_immediately():
+    """A process nobody waits on skips its no-op queue entry; yielding it
+    afterwards must still return its value through the processed path."""
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1.0)
+        return "result"
+
+    got = []
+
+    def late_waiter(sim, proc):
+        yield sim.timeout(5.0)  # long after the worker finished
+        value = yield proc
+        got.append(value)
+
+    p = sim.process(worker(sim))
+    sim.process(late_waiter(sim, p))
+    sim.run()
+    assert p.processed
+    assert got == ["result"]
+
+
+def test_failed_process_with_no_waiter_still_crashes_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("boom")
+
+    sim.process(bad(sim))
+    with pytest.raises(RuntimeError, match="boom"):
+        sim.run()

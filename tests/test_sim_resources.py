@@ -282,3 +282,92 @@ def test_container_validation():
         tank.get(0.0)
     with pytest.raises(ValueError):
         tank.put(-1.0)
+
+
+# -- synchronous completion fast paths ---------------------------------------
+
+
+def test_uncontended_request_is_granted_synchronously():
+    """An uncontended request is triggered (and processed) immediately,
+    and yielding it resumes without a queue round-trip."""
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    req = res.request()
+    assert req.triggered and req.processed
+    assert res.count == 1
+    order = []
+
+    def worker(sim, res):
+        with res.request() as r:
+            yield r
+            order.append(("granted", sim.now))
+            yield sim.timeout(1.0)
+        order.append(("released", sim.now))
+
+    sim.process(worker(sim, res))
+    sim.run()
+    assert order == [("granted", 0.0), ("released", 1.0)]
+    req.release()
+    assert res.count == 0
+
+
+def test_contended_request_still_fifo():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    grants = []
+
+    def worker(sim, res, name, hold):
+        with res.request() as r:
+            yield r
+            grants.append((name, sim.now))
+            yield sim.timeout(hold)
+
+    sim.process(worker(sim, res, "a", 2.0))
+    sim.process(worker(sim, res, "b", 1.0))
+    sim.process(worker(sim, res, "c", 1.0))
+    sim.run()
+    assert grants == [("a", 0.0), ("b", 2.0), ("c", 3.0)]
+
+
+def test_store_get_with_buffered_item_is_synchronous():
+    sim = Simulator()
+    store = Store(sim)
+    store.put_discard("x")
+    get = store.get()
+    assert get.triggered and get.processed
+    assert get.value == "x"
+
+
+def test_store_put_unbounded_is_synchronous_and_fifo_preserved():
+    sim = Simulator()
+    store = Store(sim)
+    put = store.put("a")
+    assert put.triggered and put.processed
+    received = []
+
+    def consumer(sim, store, n):
+        for _ in range(n):
+            item = yield store.get()
+            received.append(item)
+
+    store.put("b")
+    sim.process(consumer(sim, store, 3))
+    sim.process(iter_put(sim, store))
+    sim.run()
+    assert received == ["a", "b", "c"]
+
+
+def iter_put(sim, store):
+    yield sim.timeout(1.0)
+    store.put("c")
+
+
+def test_container_sync_paths_preserve_levels():
+    sim = Simulator()
+    tank = Container(sim, capacity=10.0, init=4.0)
+    get = tank.get(3.0)
+    assert get.triggered and get.processed
+    assert tank.level == 1.0
+    put = tank.put(9.0)
+    assert put.triggered and put.processed
+    assert tank.level == 10.0
