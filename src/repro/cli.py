@@ -187,6 +187,46 @@ def cmd_perf(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .faults import SCENARIOS, run_scenario
+    if args.list:
+        width = max(len(name) for name in SCENARIOS)
+        for name, scenario in SCENARIOS.items():
+            print(f"{name:<{width}}  {scenario.summary}")
+        return 0
+    names = args.scenario or list(SCENARIOS)
+    for name in names:
+        if name not in SCENARIOS:
+            print(f"error: unknown scenario {name!r} "
+                  f"(try `repro chaos --list`)", file=sys.stderr)
+            return 2
+    overrides = {}
+    if args.clients is not None:
+        overrides["n_clients"] = args.clients
+    if args.requests is not None:
+        overrides["requests_per_client"] = args.requests
+    if args.dataset_size is not None:
+        overrides["dataset_size"] = args.dataset_size
+    from .faults.scenarios import ScenarioReport
+    print(ScenarioReport.header())
+    failed = 0
+    for name in names:
+        report = run_scenario(name, seed=args.seed, **overrides)
+        print(report.row())
+        if args.verbose or not report.ok:
+            for line in report.describe():
+                print(line)
+            print(f"  fingerprint: {report.fingerprint()}")
+        if not report.ok:
+            failed += 1
+    if failed:
+        print(f"\n{failed}/{len(names)} scenario(s) FAILED",
+              file=sys.stderr)
+        return 1
+    print(f"\n{len(names)} scenario(s) passed")
+    return 0
+
+
 def cmd_schemes(_args) -> int:
     print(f"{'scheme':>22} {'transport':>10} {'notify':>8} "
           f"{'offload':>9} {'multi':>6}")
@@ -251,6 +291,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_perf.add_argument("--repeats", type=int, default=DEFAULT_REPEATS,
                         help="runs per stage; best (min wall) is recorded")
     p_perf.set_defaults(func=cmd_perf)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run named fault-injection scenarios and check "
+             "end-to-end resilience invariants",
+    )
+    p_chaos.add_argument("--list", action="store_true",
+                         help="list scenarios and exit")
+    p_chaos.add_argument("--scenario", action="append", metavar="NAME",
+                         help="scenario to run (repeatable; default: all)")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--clients", type=int, default=None,
+                         help="override ChaosConfig.n_clients")
+    p_chaos.add_argument("--requests", type=int, default=None,
+                         help="override ChaosConfig.requests_per_client")
+    p_chaos.add_argument("--dataset-size", type=int, default=None,
+                         help="override ChaosConfig.dataset_size")
+    p_chaos.add_argument("--verbose", "-v", action="store_true",
+                         help="print every invariant, not just failures")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_sch = sub.add_parser("schemes", help="list available schemes")
     p_sch.set_defaults(func=cmd_schemes)

@@ -31,7 +31,8 @@ from ..obs.trace import NULL_TRACER
 from ..sim.kernel import Simulator
 from .base import ClientStats, Request
 from .fm_client import FmSession
-from .offload_client import OffloadEngine
+from .offload_client import OffloadEngine, OffloadError
+from .resilience import CircuitBreaker
 
 
 def most_recent_utilization(u_serv: float) -> float:
@@ -69,6 +70,8 @@ class CatfishSession:
         rng: Optional[random.Random] = None,
         pred_util: Callable[[float], float] = most_recent_utilization,
         tracer=None,
+        breaker: Optional[CircuitBreaker] = None,
+        stale_after_missing: Optional[int] = None,
     ):
         self.sim = sim
         self.fm = fm
@@ -78,11 +81,23 @@ class CatfishSession:
         self.rng = rng or random.Random(0)
         self.pred_util = pred_util
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional offload circuit breaker: when set, an OffloadError is
+        #: recorded and the request falls over to fast messaging instead
+        #: of propagating; a tripped breaker short-circuits offloading
+        #: until a recovery probe succeeds.  When None, errors propagate
+        #: (the seed behaviour).
+        self.breaker = breaker
+        #: When set, this many consecutive missing-heartbeat observations
+        #: mark the utilization picture "stale": any remaining offload
+        #: budget (granted under now-unverifiable information) is
+        #: cancelled until a fresh heartbeat arrives.
+        self.stale_after_missing = stale_after_missing
         # Algorithm 1 state.
         self.r_busy = 0
         self.r_off = 0
         self._t0 = sim.now
         self._last_seq = -1
+        self._missing_streak = 0
         # Introspection counters.
         self.busy_observations = Counter("adaptive.busy_observations")
         self.backoff_extensions = Counter("adaptive.backoff_extensions")
@@ -90,6 +105,8 @@ class CatfishSession:
         self.heartbeats_missing = Counter("adaptive.heartbeats_missing")
         self.decisions_offload = Counter("adaptive.decisions_offload")
         self.decisions_fm = Counter("adaptive.decisions_fm")
+        self.stale_resets = Counter("adaptive.stale_resets")
+        self.offload_failovers = Counter("adaptive.offload_failovers")
 
     def register_metrics(self, registry: MetricsRegistry,
                          prefix: str = "adaptive") -> None:
@@ -104,8 +121,12 @@ class CatfishSession:
                        self.heartbeats_missing)
         registry.adopt(f"{prefix}.decisions_offload", self.decisions_offload)
         registry.adopt(f"{prefix}.decisions_fm", self.decisions_fm)
+        registry.adopt(f"{prefix}.stale_resets", self.stale_resets)
+        registry.adopt(f"{prefix}.offload_failovers", self.offload_failovers)
         registry.expose(f"{prefix}.r_busy", lambda: self.r_busy)
         registry.expose(f"{prefix}.r_off", lambda: self.r_off)
+        if self.breaker is not None:
+            self.breaker.register_metrics(registry, prefix=f"{prefix}.breaker")
 
     # -- Algorithm 1 -----------------------------------------------------------
 
@@ -128,8 +149,23 @@ class CatfishSession:
                 utilization = self.pred_util(raw)
                 self._t0 = now
                 self.heartbeats_consumed += 1
+                self._missing_streak = 0
             else:
                 self.heartbeats_missing += 1
+                self._missing_streak += 1
+                stale = self.stale_after_missing
+                if (stale is not None and self._missing_streak >= stale
+                        and (self.r_off or self.r_busy)):
+                    # The heartbeat has been silent for `stale` whole
+                    # intervals (blackout / saturated link / dropped
+                    # beats): the busy picture the current back-off
+                    # window was granted under is no longer verifiable.
+                    # Cancel the remaining offload budget — "missing
+                    # means do not offload" now also applies to budget
+                    # granted *before* the silence began.
+                    self.r_off = 0
+                    self.r_busy = 0
+                    self.stale_resets += 1
         # Lines 12-17: extend or reset the back-off window.
         if utilization > params.T and self.r_off <= self.r_busy * params.N:
             self.r_busy += 1
@@ -176,10 +212,37 @@ class CatfishSession:
             span.end(path="fast-messaging")
             return result
         if self._decide():
+            breaker = self.breaker
+            if breaker is not None and not breaker.allow():
+                # Offload path tripped: route through the server until a
+                # recovery probe succeeds.
+                self.decisions_fm += 1
+                span.annotate("decide", path="fast-messaging",
+                              reason="breaker-open")
+                result = yield from self.fm.execute(request)
+                span.end(path="fast-messaging")
+                return result
             self.decisions_offload += 1
             span.annotate("decide", path="offload", r_busy=self.r_busy,
                           r_off=self.r_off)
-            result = yield from self._offload(request)
+            if breaker is None:
+                # Seed behaviour: offload failures propagate.
+                result = yield from self._offload(request)
+                span.end(path="offload")
+                return result
+            try:
+                result = yield from self._offload(request)
+            except OffloadError:
+                # Torn-read/restart storm: record it and fail over — the
+                # server-side path serves the same request under locks.
+                breaker.record_failure()
+                self.offload_failovers += 1
+                span.annotate("failover", reason="offload-error",
+                              breaker=breaker.state)
+                result = yield from self.fm.execute(request)
+                span.end(path="fm-failover")
+                return result
+            breaker.record_success()
             span.end(path="offload")
         else:
             self.decisions_fm += 1

@@ -59,6 +59,13 @@ CLIENT_COUNTER_FIELDS = (
     "torn_retries",
     "search_restarts",
     "results_received",
+    # Resilience counters (deadlines/retries/duplicate suppression — see
+    # docs/robustness.md).
+    "request_timeouts",
+    "request_retries",
+    "ring_full_timeouts",
+    "duplicates_suppressed",
+    "unexpected_messages",
 )
 
 
@@ -80,6 +87,16 @@ class ClientStats:
     torn_retries: Counter = field(default_factory=Counter)
     search_restarts: Counter = field(default_factory=Counter)
     results_received: Counter = field(default_factory=Counter)
+    #: Attempts abandoned because the response deadline expired.
+    request_timeouts: Counter = field(default_factory=Counter)
+    #: Re-sends after a timed-out or ring-full attempt.
+    request_retries: Counter = field(default_factory=Counter)
+    #: Bounded ring reservations that expired (RingBufferFullError).
+    ring_full_timeouts: Counter = field(default_factory=Counter)
+    #: Response segments of abandoned attempts, dropped on arrival.
+    duplicates_suppressed: Counter = field(default_factory=Counter)
+    #: Messages of an unknown type dropped by the receiver.
+    unexpected_messages: Counter = field(default_factory=Counter)
 
     @property
     def offload_fraction(self) -> float:

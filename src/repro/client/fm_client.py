@@ -4,11 +4,24 @@ Sends requests with RDMA Write into the server's ring buffer and collects
 CONT/END response segments from its own ring buffer.  A background receiver
 process demultiplexes the response ring: heartbeats go to the ``u_serv``
 mailbox (Algorithm 1), response segments go to the in-flight request.
+Messages of an unknown type are counted and dropped — a malformed message
+must not kill the client process.
+
+With a :class:`~repro.client.resilience.RetryPolicy` attached, every
+request gets a deadline and a jittered exponential-backoff retry budget:
+a timed-out attempt is *abandoned* (its request id is remembered so
+late-arriving segments are suppressed as duplicates, never delivered) and
+the request is re-sent under a fresh id.  Ring reservations become
+bounded waits (``reserve_within``) so a wedged server cannot block the
+client forever.  Without a policy the original always-blocking behaviour
+is preserved bit-for-bit — the resilience layer costs nothing unless
+requested.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+import random
+from typing import Generator, List, Optional, Set, Tuple
 
 from ..msg.codec import (
     CountRequest,
@@ -19,9 +32,10 @@ from ..msg.codec import (
     ResponseSegment,
     SearchRequest,
 )
+from ..msg.ringbuffer import RingBufferFullError
 from ..rtree.geometry import Rect
 from ..server.fast_messaging import FmConnection
-from ..sim.kernel import Simulator
+from ..sim.kernel import Simulator, any_of
 from ..sim.resources import Store
 from .base import (
     OP_COUNT,
@@ -34,6 +48,10 @@ from .base import (
     Request,
     RequestIdAllocator,
 )
+from .resilience import RequestTimeoutError, RetryPolicy
+
+#: Internal marker: an attempt expired before its END segment arrived.
+_TIMED_OUT = object()
 
 
 class FmSession:
@@ -45,12 +63,19 @@ class FmSession:
         conn: FmConnection,
         client_id: int,
         stats: ClientStats,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
     ):
         self.sim = sim
         self.conn = conn
         self.stats = stats
+        self.retry = retry
+        self.rng = rng or random.Random(client_id)
         self._ids = RequestIdAllocator(client_id)
         self._segments: Store = Store(sim)
+        #: Request ids whose attempt was abandoned (deadline expired);
+        #: their late segments are suppressed, not delivered.
+        self._abandoned: Set[int] = set()
         self.heartbeats_seen = 0
         sim.process(self._receiver(), name=f"fm-recv-{client_id}")
 
@@ -67,35 +92,128 @@ class FmSession:
                 self.conn.mailbox.deliver(message)
                 self.heartbeats_seen += 1
             elif isinstance(message, ResponseSegment):
+                if message.req_id in self._abandoned:
+                    # Late answer to a timed-out attempt: swallow it here
+                    # so it can never be mistaken for the current
+                    # request's response.  Forget the id once the END
+                    # segment has passed.
+                    self.stats.duplicates_suppressed += 1
+                    if message.last:
+                        self._abandoned.discard(message.req_id)
+                    continue
                 self._segments.put(message)
             else:
-                raise TypeError(f"client got unexpected message {message!r}")
+                # Unknown message type: drop and count, never crash the
+                # receiver (a dead receiver wedges the whole client).
+                self.stats.unexpected_messages += 1
 
     # -- request execution -----------------------------------------------------
+
+    def _make_wire(self, request: Request):
+        """Encode ``request`` under a fresh request id."""
+        if request.op == OP_SEARCH:
+            return SearchRequest(self._ids.next_id(), request.rect)
+        if request.op == OP_NEAREST:
+            cx, cy = request.rect.center()
+            return NearestRequest(self._ids.next_id(), cx, cy, request.k)
+        if request.op == OP_COUNT:
+            return CountRequest(self._ids.next_id(), request.rect)
+        if request.op == OP_INSERT:
+            return InsertRequest(self._ids.next_id(), request.rect,
+                                 request.data_id)
+        if request.op == OP_DELETE:
+            return DeleteRequest(self._ids.next_id(), request.rect,
+                                 request.data_id)
+        if request.op == OP_UPDATE:
+            from ..msg.codec import UpdateRequest
+            return UpdateRequest(self._ids.next_id(), request.rect,
+                                 request.new_rect, request.data_id)
+        raise ValueError(request.op)  # pragma: no cover - Request validates
 
     def execute(self, request: Request) -> Generator:
         """Run one request through fast messaging; returns the results."""
         self.stats.fast_messaging_requests += 1
-        if request.op == OP_SEARCH:
-            wire = SearchRequest(self._ids.next_id(), request.rect)
-        elif request.op == OP_NEAREST:
-            cx, cy = request.rect.center()
-            wire = NearestRequest(self._ids.next_id(), cx, cy, request.k)
-        elif request.op == OP_COUNT:
-            wire = CountRequest(self._ids.next_id(), request.rect)
-        elif request.op == OP_INSERT:
-            wire = InsertRequest(self._ids.next_id(), request.rect,
-                                 request.data_id)
-        elif request.op == OP_DELETE:
-            wire = DeleteRequest(self._ids.next_id(), request.rect,
-                                 request.data_id)
-        elif request.op == OP_UPDATE:
-            from ..msg.codec import UpdateRequest
-            wire = UpdateRequest(self._ids.next_id(), request.rect,
-                                 request.new_rect, request.data_id)
-        else:  # pragma: no cover - Request validates op
-            raise ValueError(request.op)
+        policy = self.retry
+        if policy is None:
+            result = yield from self._execute_blocking(request)
+            return result
+        attempts = policy.attempts_for(request.op)
+        for attempt in range(attempts):
+            wire = self._make_wire(request)
+            try:
+                yield from self.conn.request_ring.reserve_within(
+                    wire, policy.reserve_timeout
+                )
+            except RingBufferFullError:
+                self.stats.ring_full_timeouts += 1
+                if attempt + 1 >= attempts:
+                    raise RequestTimeoutError(
+                        f"{request.op}: request ring still full after "
+                        f"{attempts} bounded reservation(s)"
+                    ) from None
+                self.stats.request_retries += 1
+                yield self.sim.timeout(policy.backoff_s(attempt, self.rng))
+                continue
+            yield self.conn.client_post_request(wire)
+            outcome = yield from self._collect(request, wire,
+                                               policy.deadline_s)
+            if outcome is not _TIMED_OUT:
+                return outcome
+            self.stats.request_timeouts += 1
+            if attempt + 1 < attempts:
+                self.stats.request_retries += 1
+                yield self.sim.timeout(policy.backoff_s(attempt, self.rng))
+        raise RequestTimeoutError(
+            f"{request.op} got no response within {attempts} attempt(s) "
+            f"of {policy.deadline_s * 1e6:.0f} us each"
+        )
 
+    def _collect(self, request: Request, wire,
+                 deadline_s: float) -> Generator:
+        """Gather segments for ``wire`` until END, or ``_TIMED_OUT``."""
+        sim = self.sim
+        deadline = sim.now + deadline_s
+        results: List[Tuple[Rect, int]] = []
+        count: Optional[int] = None
+        while True:
+            get = self._segments.get()
+            if get.triggered:
+                segment = yield get
+            else:
+                remaining = deadline - sim.now
+                if remaining <= 0:
+                    get.cancel()
+                    self._abandoned.add(wire.req_id)
+                    return _TIMED_OUT
+                yield any_of(sim, (get, sim.timeout(remaining)))
+                if not get.triggered:
+                    get.cancel()
+                    self._abandoned.add(wire.req_id)
+                    return _TIMED_OUT
+                segment = get.value
+            if segment.req_id != wire.req_id:
+                # A stale segment that reached the store before its
+                # attempt was abandoned.  Suppress it exactly like the
+                # receiver would have.
+                self.stats.duplicates_suppressed += 1
+                if segment.last:
+                    self._abandoned.discard(segment.req_id)
+                continue
+            results.extend(segment.results)
+            if segment.count is not None:
+                count = segment.count
+            if segment.last:
+                break
+        return self._finish(request, results, count)
+
+    def _execute_blocking(self, request: Request) -> Generator:
+        """The no-policy path: block on the ring, wait unboundedly.
+
+        Kept separate (and identical to the pre-resilience behaviour, a
+        strict mismatch still being an error) so fault-free experiments
+        pay nothing for the retry machinery.
+        """
+        wire = self._make_wire(request)
         # Ring-buffer flow control, then the actual RDMA Write (w/ IMM in
         # event mode).  The client continues once the write is acknowledged.
         yield from self.conn.request_ring.reserve(wire)
@@ -115,6 +233,9 @@ class FmSession:
                 count = segment.count
             if segment.last:
                 break
+        return self._finish(request, results, count)
+
+    def _finish(self, request: Request, results, count):
         if request.op == OP_COUNT:
             self.stats.results_received += count or 0
             return count

@@ -17,8 +17,10 @@ from ..client.base import OP_SEARCH, ClientStats, Request
 from ..client.fm_client import FmSession
 from ..client.offload_client import OffloadEngine, OffloadSession
 from ..client.predictors import make_predictor
+from ..client.resilience import CircuitBreaker
 from ..client.tcp_client import TcpSession
 from ..client.base import CLIENT_COUNTER_FIELDS
+from ..faults.injector import FaultInjector
 from ..hw.cpu import SchedulerModel
 from ..hw.host import Host
 from ..net.fabric import Network, profile_by_name
@@ -53,9 +55,15 @@ def _client_driver(
     session,
     requests: List[Request],
     stats: ClientStats,
+    injector: FaultInjector = None,
+    client_id: int = 0,
 ) -> Generator:
     """One synchronous client: issue every request back-to-back."""
     for request in requests:
+        if injector is not None:
+            stall = injector.client_stall(client_id)
+            if stall > 0.0:
+                yield sim.timeout(stall)
         start = sim.now
         yield from session.execute(request)
         elapsed = sim.now - start
@@ -86,6 +94,13 @@ class ExperimentRunner:
                 f"got {config.fabric!r}"
             )
 
+        self.injector = None
+        if config.fault_plan:
+            self.injector = FaultInjector(
+                self.sim, config.fault_plan,
+                rng=self.rngs.stream("faults"),
+            )
+
         self.network = Network(self.sim, self.profile)
         self.server_host = Host(
             self.sim,
@@ -97,6 +112,9 @@ class ExperimentRunner:
             ),
         )
         self.network.attach_server(self.server_host)
+        if self.injector is not None:
+            self.injector.attach_network(self.network)
+            self.injector.attach_host(self.server_host)
 
         items = config.dataset
         if items is None:
@@ -121,6 +139,7 @@ class ExperimentRunner:
                 self.server,
                 self.network,
                 mode=self.spec.notification,
+                max_queue_depth=config.max_queue_depth,
             )
             if self.spec.heartbeats:
                 self.heartbeats = HeartbeatService(
@@ -128,12 +147,22 @@ class ExperimentRunner:
                     self.server_host.cpu.window_utilization,
                     interval=config.heartbeat_interval,
                 )
+                if self.injector is not None:
+                    self.injector.attach_heartbeats(self.heartbeats)
 
         self.client_stats: List[ClientStats] = []
         self.sessions = []
         self._drivers = []
         self._timeline: List[tuple] = []
         self._build_clients()
+        if self.injector is not None:
+            # Started after the clients exist so WorkerCrash faults see
+            # every connection; storm targets re-resolve the root per
+            # window so splits are tolerated.
+            self.injector.start(
+                fm_server=self.fm_server,
+                storm_targets=lambda: [self.server.tree.root],
+            )
         if self.heartbeats is not None:
             self.heartbeats.start()
         self._register_metrics()
@@ -152,6 +181,8 @@ class ExperimentRunner:
             self.fm_server.register_metrics(m)
         if self.heartbeats is not None:
             self.heartbeats.register_metrics(m)
+        if self.injector is not None:
+            self.injector.register_metrics(m)
         m.expose("server.searches_served",
                  lambda: int(self.server.searches_served))
         m.expose("server.inserts_served",
@@ -180,7 +211,8 @@ class ExperimentRunner:
         if adaptive:
             for field in ("busy_observations", "backoff_extensions",
                           "heartbeats_consumed", "heartbeats_missing",
-                          "decisions_offload", "decisions_fm"):
+                          "decisions_offload", "decisions_fm",
+                          "stale_resets", "offload_failovers"):
                 m.expose(
                     f"adaptive.{field}",
                     lambda f=field: sum(int(getattr(s, f)) for s in adaptive),
@@ -245,7 +277,9 @@ class ExperimentRunner:
             rng = self.rngs.fork(f"client-{client_id}").stream("workload")
             requests = workload_fn(client_id, rng)
             driver = self.sim.process(
-                _client_driver(self.sim, session, requests, stats),
+                _client_driver(self.sim, session, requests, stats,
+                               injector=self.injector,
+                               client_id=client_id),
                 name=f"client-{client_id}",
             )
             self.client_stats.append(stats)
@@ -262,7 +296,11 @@ class ExperimentRunner:
             return TcpSession(self.sim, conn, client_id, stats)
 
         conn = self.fm_server.open_connection(host)
-        fm = FmSession(self.sim, conn, client_id, stats)
+        fm = FmSession(
+            self.sim, conn, client_id, stats,
+            retry=self.config.retry,
+            rng=self.rngs.fork(f"client-{client_id}").stream("retry"),
+        )
         if self.heartbeats is not None:
             self.heartbeats.subscribe(
                 conn.response_ring,
@@ -282,6 +320,8 @@ class ExperimentRunner:
         if self.spec.offload == OFFLOAD_ALWAYS:
             return OffloadSession(engine, fm, stats)
         if self.spec.offload == OFFLOAD_ADAPTIVE:
+            breaker = (CircuitBreaker(self.sim, self.config.breaker)
+                       if self.config.breaker is not None else None)
             return CatfishSession(
                 self.sim,
                 fm,
@@ -291,6 +331,8 @@ class ExperimentRunner:
                 rng=self.rngs.fork(f"client-{client_id}").stream("backoff"),
                 pred_util=make_predictor(self.spec.predictor),
                 tracer=self.tracer,
+                breaker=breaker,
+                stale_after_missing=self.config.stale_after_missing,
             )
         if self.spec.offload == "bandit":
             return BanditSession(

@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..client.adaptive import AdaptiveParams
+from ..client.resilience import BreakerParams, RetryPolicy
+from ..faults.plan import FaultPlan
 from ..rtree.geometry import Rect
 from ..rtree.node import DEFAULT_MAX_ENTRIES
 from ..server.costs import DEFAULT_COSTS, CostModel
@@ -48,6 +50,23 @@ class ExperimentConfig:
     heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
 
     seed: int = 0
+
+    # Robustness (all default-off; see docs/robustness.md).
+    #: Timed fault windows injected into the run (None/empty = no faults,
+    #: no hooks attached).
+    fault_plan: Optional[FaultPlan] = None
+    #: Per-request deadline + retry budget for fast-messaging clients;
+    #: None keeps the seed's block-forever behaviour.
+    retry: Optional[RetryPolicy] = None
+    #: Offload circuit breaker for adaptive clients; None propagates
+    #: OffloadError as before.
+    breaker: Optional[BreakerParams] = None
+    #: Consecutive missing heartbeats before an adaptive client cancels
+    #: its remaining offload budget; None disables the staleness check.
+    stale_after_missing: Optional[int] = None
+    #: Server overload guard: shed a consumed request when this many are
+    #: still queued behind it; None disables shedding.
+    max_queue_depth: Optional[int] = None
 
     #: When True, the runner samples (time, cpu_util, offload_fraction)
     #: every heartbeat interval into ``RunResult.timeline`` and registers

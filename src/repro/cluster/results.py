@@ -68,16 +68,15 @@ class RunResult:
 
 def merge_client_stats(all_stats: List[ClientStats]) -> ClientStats:
     """Combine per-client stats into one aggregate."""
+    from ..client.base import CLIENT_COUNTER_FIELDS
     merged = ClientStats()
     for stats in all_stats:
         for sample in stats.latency.samples:
             merged.latency.record(sample)
         for sample in stats.search_latency.samples:
             merged.search_latency.record(sample)
-        merged.requests_sent += stats.requests_sent
-        merged.fast_messaging_requests += stats.fast_messaging_requests
-        merged.offloaded_requests += stats.offloaded_requests
-        merged.torn_retries += stats.torn_retries
-        merged.search_restarts += stats.search_restarts
-        merged.results_received += stats.results_received
+        for name in CLIENT_COUNTER_FIELDS:
+            counter = getattr(merged, name)
+            counter += int(getattr(stats, name))
+            setattr(merged, name, counter)
     return merged

@@ -1,0 +1,217 @@
+"""The fault injector: interprets a :class:`FaultPlan` against a cluster.
+
+Two kinds of faults exist:
+
+* **passive** faults are consulted from hooks on the hot paths — the
+  link asks for a transfer penalty, the NIC for a read stall, the
+  heartbeat service whether it is blacked out, the client driver for a
+  stall.  Each hook is a single attribute check when no injector is
+  attached, so the fault machinery costs nothing in fault-free runs.
+* **active** faults are driven by injector-owned processes — worker
+  crash/restart windows and write storms do things *to* the cluster on a
+  schedule.
+
+All stochastic choices (packet loss) draw from one seeded stream, so a
+plan replays bit-identically under a fixed seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generator, List, Optional
+
+from ..obs.registry import Counter, MetricsRegistry
+from ..sim.kernel import Simulator
+from .plan import (
+    BOTH,
+    ClientStall,
+    FaultPlan,
+    HeartbeatBlackout,
+    LinkFault,
+    NicReadStall,
+    WorkerCrash,
+    WriteStorm,
+)
+
+
+class FaultInjector:
+    """Applies one plan to one simulated cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        plan: FaultPlan,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.plan = plan
+        self.rng = rng or random.Random(0)
+        # Pre-split by type: the hooks run on hot paths.
+        self._link_faults: List[LinkFault] = plan.of_type(LinkFault)
+        self._nic_stalls: List[NicReadStall] = plan.of_type(NicReadStall)
+        self._blackouts: List[HeartbeatBlackout] = (
+            plan.of_type(HeartbeatBlackout)
+        )
+        self._client_stalls: List[ClientStall] = plan.of_type(ClientStall)
+        self._started = False
+        self.packets_dropped = Counter("faults.packets_dropped")
+        self.latency_injections = Counter("faults.latency_injections")
+        self.nic_stalls_injected = Counter("faults.nic_stalls_injected")
+        self.beats_blacked_out = Counter("faults.beats_blacked_out")
+        self.workers_crashed = Counter("faults.workers_crashed")
+        self.workers_restarted = Counter("faults.workers_restarted")
+        self.write_storm_windows = Counter("faults.write_storm_windows")
+        self.client_stalls_injected = Counter("faults.client_stalls_injected")
+
+    def register_metrics(self, registry: MetricsRegistry,
+                         prefix: str = "faults") -> None:
+        """Adopt the injection counters into ``registry``."""
+        registry.adopt(f"{prefix}.packets_dropped", self.packets_dropped)
+        registry.adopt(f"{prefix}.latency_injections",
+                       self.latency_injections)
+        registry.adopt(f"{prefix}.nic_stalls_injected",
+                       self.nic_stalls_injected)
+        registry.adopt(f"{prefix}.beats_blacked_out", self.beats_blacked_out)
+        registry.adopt(f"{prefix}.workers_crashed", self.workers_crashed)
+        registry.adopt(f"{prefix}.workers_restarted", self.workers_restarted)
+        registry.adopt(f"{prefix}.write_storm_windows",
+                       self.write_storm_windows)
+        registry.adopt(f"{prefix}.client_stalls_injected",
+                       self.client_stalls_injected)
+
+    # -- passive hooks -----------------------------------------------------
+
+    def link_penalty(self, direction: str) -> float:
+        """Extra seconds a transfer waits before taking the transmitter.
+
+        Lost packets pay one ``retransmit_delay_s`` per (geometric)
+        retransmission; latency spikes add a flat delay.  Holding the
+        penalty *before* the transmitter keeps the link FIFO and lets the
+        delay back-pressure senders, like a real retransmission would.
+        """
+        now = self.sim.now
+        penalty = 0.0
+        for fault in self._link_faults:
+            if not fault.active(now):
+                continue
+            if fault.direction != BOTH and fault.direction != direction:
+                continue
+            if fault.extra_latency_s:
+                penalty += fault.extra_latency_s
+                self.latency_injections += 1
+            if fault.loss_prob:
+                rng_random = self.rng.random
+                while rng_random() < fault.loss_prob:
+                    penalty += fault.retransmit_delay_s
+                    self.packets_dropped += 1
+        return penalty
+
+    def nic_read_stall(self, host_name: str) -> float:
+        """Extra seconds ``host_name``'s NIC takes to serve one read."""
+        now = self.sim.now
+        stall = 0.0
+        for fault in self._nic_stalls:
+            if fault.active(now) and fault.host == host_name:
+                stall += fault.stall_s
+        if stall:
+            self.nic_stalls_injected += 1
+        return stall
+
+    def heartbeat_suppressed(self) -> bool:
+        """True when the current heartbeat must be silently skipped."""
+        now = self.sim.now
+        for fault in self._blackouts:
+            if fault.active(now):
+                self.beats_blacked_out += 1
+                return True
+        return False
+
+    def client_stall(self, client_id: int) -> float:
+        """Stall to insert before this client's next request (0 if none)."""
+        now = self.sim.now
+        stall = 0.0
+        for fault in self._client_stalls:
+            if fault.active(now) and (
+                not fault.client_ids or client_id in fault.client_ids
+            ):
+                stall += fault.stall_s
+        if stall:
+            self.client_stalls_injected += 1
+        return stall
+
+    # -- attachment --------------------------------------------------------
+
+    def attach_network(self, network) -> None:
+        """Install the loss/latency hook on the server's access link."""
+        network.attach_injector(self)
+
+    def attach_host(self, host) -> None:
+        """Install the read-stall hook on ``host``'s NIC."""
+        host.nic.fault_injector = self
+
+    def attach_heartbeats(self, service) -> None:
+        """Install the blackout hook on the heartbeat service."""
+        service.fault_injector = self
+
+    # -- active drivers ----------------------------------------------------
+
+    def start(
+        self,
+        fm_server=None,
+        storm_targets: Optional[Callable[[], list]] = None,
+    ) -> None:
+        """Spawn the driver processes for the plan's active faults.
+
+        ``fm_server`` is required if the plan contains
+        :class:`WorkerCrash` faults; ``storm_targets`` (a callable
+        returning the nodes to poison — re-evaluated per window, so tree
+        restructuring is tolerated) is required for :class:`WriteStorm`.
+        """
+        if self._started:
+            raise RuntimeError("injector already started")
+        self._started = True
+        for fault in self.plan.of_type(WorkerCrash):
+            if fm_server is None:
+                raise ValueError("WorkerCrash fault needs fm_server")
+            self.sim.process(self._crash_driver(fault, fm_server),
+                             name="fault-crash")
+        for fault in self.plan.of_type(WriteStorm):
+            if storm_targets is None:
+                raise ValueError("WriteStorm fault needs storm_targets")
+            self.sim.process(self._storm_driver(fault, storm_targets),
+                             name="fault-storm")
+
+    def _crash_driver(self, fault: WorkerCrash, fm_server) -> Generator:
+        sim = self.sim
+        if fault.start > sim.now:
+            yield sim.timeout(fault.start - sim.now)
+        crashed = []
+        for conn in fm_server.connections:
+            if fault.conn_ids and conn.conn_id not in fault.conn_ids:
+                continue
+            fm_server.crash_worker(conn)
+            crashed.append(conn)
+            self.workers_crashed += 1
+        if fault.end > sim.now:
+            yield sim.timeout(fault.end - sim.now)
+        for conn in crashed:
+            fm_server.restart_worker(conn)
+            self.workers_restarted += 1
+
+    def _storm_driver(self, fault: WriteStorm,
+                      storm_targets: Callable[[], list]) -> Generator:
+        sim = self.sim
+        if fault.start > sim.now:
+            yield sim.timeout(fault.start - sim.now)
+        while sim.now < fault.end:
+            nodes = list(storm_targets())
+            for node in nodes:
+                node.begin_write()
+            self.write_storm_windows += 1
+            try:
+                yield sim.timeout(fault.hold_s)
+            finally:
+                for node in nodes:
+                    node.end_write()
+            if fault.gap_s:
+                yield sim.timeout(fault.gap_s)

@@ -40,6 +40,16 @@ class Nic:
         self.max_outstanding_reads = max_outstanding_reads
         self._read_slots = Resource(sim, capacity=max_outstanding_reads)
         self.ops_processed = 0
+        #: Optional fault injector (see repro.faults); when set, one-sided
+        #: reads served by this NIC consult it for a per-read stall.
+        self.fault_injector = None
+
+    def read_stall_s(self, host_name: str) -> float:
+        """Extra responder-side delay for one RDMA Read (0.0 normally)."""
+        injector = self.fault_injector
+        if injector is None:
+            return 0.0
+        return injector.nic_read_stall(host_name)
 
     def process_wqe(self) -> Generator:
         """Occupy the NIC pipeline for one work-queue element."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Generator, Tuple
 
-from ..sim.kernel import Simulator
+from ..sim.kernel import Simulator, any_of
 from ..sim.resources import Container, Store
 from .codec import MSG_HEADER_SIZE, message_size
 
@@ -71,6 +71,38 @@ class RingBuffer:
                 f"message of {footprint} B cannot fit a {self.capacity} B ring"
             )
         yield self._free.get(float(footprint))
+        self._reserved_bytes += footprint
+        used = self.capacity - int(self._free.level)
+        if used > self.high_watermark:
+            self.high_watermark = used
+
+    def reserve_within(self, message, timeout_s: float) -> Generator:
+        """Claim ring space, waiting at most ``timeout_s``.
+
+        Raises :class:`RingBufferFullError` if the space is not granted in
+        time — the bounded-wait alternative to :meth:`reserve` used by
+        clients with a request deadline.  A timed-out claim is withdrawn
+        (cancelled), so it cannot later swallow freed space or starve
+        reservations queued behind it.
+        """
+        if timeout_s <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout_s}")
+        footprint = message_size(message)
+        if footprint > self.capacity:
+            raise ValueError(
+                f"message of {footprint} B cannot fit a {self.capacity} B ring"
+            )
+        get = self._free.get(float(footprint))
+        if get.triggered:
+            yield get
+        else:
+            yield any_of(self.sim, (get, self.sim.timeout(timeout_s)))
+            if not get.triggered:
+                get.cancel()
+                raise RingBufferFullError(
+                    f"no room for {footprint} B within "
+                    f"{timeout_s * 1e6:.0f} us on {self.name}"
+                )
         self._reserved_bytes += footprint
         used = self.capacity - int(self._free.level)
         if used > self.high_watermark:

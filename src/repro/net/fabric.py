@@ -110,6 +110,13 @@ class Network:
         """Declare which host owns the shared access link."""
         self.server_host = host
 
+    def attach_injector(self, injector) -> None:
+        """Install a fault injector's loss/latency hooks on the server
+        link (``tx`` = server transmit, ``rx`` = server receive — the
+        direction names :class:`repro.faults.LinkFault` uses)."""
+        self.server_link.tx.fault_hook = lambda: injector.link_penalty("tx")
+        self.server_link.rx.fault_hook = lambda: injector.link_penalty("rx")
+
     def transfer(self, src, dst, wire_bytes: int) -> Generator:
         """Move ``wire_bytes`` (already wire-inflated) from src to dst host.
 

@@ -37,6 +37,10 @@ class Link:
         self._bytes_per_s = bandwidth_bps / 8.0
         self._tx = Resource(sim, capacity=1)
         self.counter = ByteCounter(sim)
+        #: Optional fault hook (see repro.faults): a zero-arg callable
+        #: returning extra seconds this transfer waits before taking the
+        #: transmitter (packet loss retransmits, latency spikes).
+        self.fault_hook = None
 
     @property
     def bytes_per_second(self) -> float:
@@ -52,6 +56,10 @@ class Link:
         """Process generator: completes when the last byte has arrived."""
         if nbytes < 0:
             raise ValueError(f"negative size {nbytes}")
+        if self.fault_hook is not None:
+            penalty = self.fault_hook()
+            if penalty > 0.0:
+                yield self.sim.timeout(penalty)
         req = self._tx.request()
         try:
             yield req

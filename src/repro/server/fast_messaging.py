@@ -25,7 +25,7 @@ from ..msg.codec import message_size
 from ..msg.ringbuffer import DEFAULT_RING_CAPACITY, RingBuffer
 from ..net.fabric import Network
 from ..obs.registry import Counter, MetricsRegistry
-from ..sim.kernel import Simulator
+from ..sim.kernel import Event, Interrupt, Simulator
 from ..transport.rdma import CompletionChannel, QpEndpoint, connect
 from .base import RTreeServer
 from .heartbeat import HeartbeatMailbox
@@ -54,6 +54,14 @@ class FmConnection:
     server_end: QpEndpoint = None
     server_channel: Optional[CompletionChannel] = None
     use_imm: bool = False
+    #: The per-connection server thread (set by ``open_connection``).
+    worker_proc: object = None
+    #: Fail-stop crash state (see ``FastMessagingServer.crash_worker``).
+    worker_down: bool = False
+    worker_restart: Optional[Event] = None
+    #: True while the worker is executing a request (crash delivery is
+    #: deferred to the next request boundary when set).
+    worker_busy: bool = False
 
     # -- client-side send / server-side send helpers ------------------------
 
@@ -87,16 +95,29 @@ class FastMessagingServer:
         network: Network,
         mode: str = EVENT,
         ring_capacity: int = DEFAULT_RING_CAPACITY,
+        max_queue_depth: Optional[int] = None,
     ):
         if mode not in (POLLING, EVENT):
             raise ValueError(f"unknown notification mode {mode!r}")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
         self.sim = sim
         self.server = server
         self.network = network
         self.mode = mode
         self.ring_capacity = ring_capacity
+        #: Overload guard: a consumed request is shed (dropped, counted)
+        #: when this many requests are still queued behind it.  None
+        #: disables shedding (the seed behaviour).  Clients recover the
+        #: shed request via their retry policy.
+        self.max_queue_depth = max_queue_depth
         self.connections: List[FmConnection] = []
         self.requests_handled = Counter("server.requests_handled")
+        self.requests_shed = Counter("server.requests_shed")
+        self.workers_crashed = Counter("server.workers_crashed")
+        self.workers_restarted = Counter("server.workers_restarted")
 
     @property
     def n_connections(self) -> int:
@@ -111,7 +132,14 @@ class FastMessagingServer:
         included automatically.
         """
         registry.adopt(f"{prefix}.requests_handled", self.requests_handled)
+        registry.adopt(f"{prefix}.requests_shed", self.requests_shed)
+        registry.adopt(f"{prefix}.workers_crashed", self.workers_crashed)
+        registry.adopt(f"{prefix}.workers_restarted", self.workers_restarted)
         registry.expose(f"{prefix}.connections", lambda: self.n_connections)
+        registry.expose(
+            f"{prefix}.workers_down",
+            lambda: sum(1 for c in self.connections if c.worker_down),
+        )
         conns = self.connections
         registry.expose(
             f"{prefix}.request_ring_bytes",
@@ -187,38 +215,127 @@ class FastMessagingServer:
                     self.n_connections
                 )
             )
-        sim.process(self._worker(conn), name=f"fm-worker-{conn_id}")
+        conn.worker_proc = sim.process(
+            self._worker(conn), name=f"fm-worker-{conn_id}"
+        )
         return conn
 
+    # -- fail-stop worker crashes (see repro.faults) -------------------------
+
+    def crash_worker(self, conn: FmConnection) -> None:
+        """Kill ``conn``'s worker thread (fail-stop) until restarted.
+
+        Delivery is at a request boundary: a worker parked at its idle
+        wait is interrupted immediately; one mid-request finishes the
+        request in flight first (it holds tree locks and a core slot the
+        simulation has no OS to reclaim), then parks.  Requests written
+        to the ring while down simply queue; the restart drains them.
+        """
+        if conn.worker_down:
+            return
+        conn.worker_down = True
+        conn.worker_restart = self.sim.event()
+        self.workers_crashed += 1
+        # Only the event-mode idle wait is interrupted: a polling worker
+        # parked on consume() is left to complete the consume — the
+        # request it picks up while down is then shed *with accounting*
+        # (interrupting would silently lose the in-flight consume).  A
+        # worker that has not run its first step yet needs no interrupt:
+        # it reads ``worker_down`` before its first wait.
+        if (self.mode == EVENT and not conn.worker_busy
+                and conn.worker_proc is not None
+                and conn.worker_proc.is_alive
+                and conn.worker_proc.has_started):
+            conn.worker_proc.interrupt("worker-crash")
+
+    def restart_worker(self, conn: FmConnection) -> None:
+        """Bring a crashed worker back; it drains the backlog at once."""
+        if not conn.worker_down:
+            return
+        conn.worker_down = False
+        self.workers_restarted += 1
+        restart, conn.worker_restart = conn.worker_restart, None
+        restart.succeed()
+
     # -- the server thread ------------------------------------------------------
+
+    def _shed(self, conn: FmConnection) -> bool:
+        """Overload guard: True when the consumed request must be dropped.
+
+        Measured *after* consumption: with more than ``max_queue_depth``
+        requests still waiting behind this one, the backlog has outrun
+        the deadline any client would still be waiting on — executing it
+        would waste server time on an answer nobody accepts.
+        """
+        cap = self.max_queue_depth
+        if cap is not None and conn.request_ring.pending_messages >= cap:
+            self.requests_shed += 1
+            return True
+        return False
 
     def _worker(self, conn: FmConnection) -> Generator:
         scheduler = self.server.host.scheduler
         if self.mode == EVENT:
             while True:
-                yield conn.server_channel.wait()
-                yield self.sim.timeout(scheduler.event_wakeup_delay())
-                # Completions coalesce: while this thread slept (or was
-                # busy handling a request), more writes may have landed in
-                # the ring than notifications will wake us for.  Drain the
-                # ring fully on every wakeup so no request waits for an
-                # unrelated later wakeup.
-                while True:
-                    found, request = conn.request_ring.try_consume()
-                    if not found:
-                        break
-                    yield from self._handle(conn, request)
-                    self.requests_handled += 1
+                try:
+                    if conn.worker_down:
+                        yield conn.worker_restart
+                        # Fall through to the drain loop: requests piled
+                        # up while the worker was down.  The crash also
+                        # abandoned any in-flight channel wait, which may
+                        # swallow one notification — the unconditional
+                        # drain compensates.
+                    else:
+                        yield conn.server_channel.wait()
+                        yield self.sim.timeout(
+                            scheduler.event_wakeup_delay()
+                        )
+                    # Completions coalesce: while this thread slept (or
+                    # was busy handling a request), more writes may have
+                    # landed in the ring than notifications will wake us
+                    # for.  Drain the ring fully on every wakeup so no
+                    # request waits for an unrelated later wakeup.
+                    while not conn.worker_down:
+                        found, request = conn.request_ring.try_consume()
+                        if not found:
+                            break
+                        if self._shed(conn):
+                            continue
+                        conn.worker_busy = True
+                        try:
+                            yield from self._handle(conn, request)
+                        finally:
+                            conn.worker_busy = False
+                        self.requests_handled += 1
+                except Interrupt:
+                    continue  # crash delivered at the idle wait
         else:
             while True:
-                request = yield conn.request_ring.consume()
-                # The message is in the ring, but the polling thread must be
-                # scheduled onto a core to notice it.
-                yield self.sim.timeout(
-                    scheduler.polling_wakeup_delay(self.n_connections)
-                )
-                yield from self._handle(conn, request)
-                self.requests_handled += 1
+                try:
+                    if conn.worker_down:
+                        yield conn.worker_restart
+                        continue
+                    request = yield conn.request_ring.consume()
+                    # The message is in the ring, but the polling thread
+                    # must be scheduled onto a core to notice it.
+                    yield self.sim.timeout(
+                        scheduler.polling_wakeup_delay(self.n_connections)
+                    )
+                    if conn.worker_down:
+                        # Crashed between consume and dispatch: the
+                        # request dies with the thread (fail-stop).
+                        self.requests_shed += 1
+                        continue
+                    if self._shed(conn):
+                        continue
+                    conn.worker_busy = True
+                    try:
+                        yield from self._handle(conn, request)
+                    finally:
+                        conn.worker_busy = False
+                    self.requests_handled += 1
+                except Interrupt:
+                    continue
 
     def _handle(self, conn: FmConnection, request) -> Generator:
         segments = yield from self.server.handle_request(request)

@@ -88,8 +88,12 @@ class HeartbeatService:
         self._seq = 0
         self.beats_sent = Counter("heartbeat.beats_sent")
         self.beats_dropped = Counter("heartbeat.beats_dropped")
+        self.beats_suppressed = Counter("heartbeat.beats_suppressed")
         self.last_utilization = 0.0
         self._proc = None
+        #: Optional fault injector (see repro.faults); when set, beats
+        #: inside a HeartbeatBlackout window are silently skipped.
+        self.fault_injector = None
 
     def subscribe(self, response_ring, send_fn) -> None:
         self._subscribers.append((response_ring, send_fn))
@@ -103,6 +107,7 @@ class HeartbeatService:
         """Adopt the service counters into ``registry``."""
         registry.adopt(f"{prefix}.beats_sent", self.beats_sent)
         registry.adopt(f"{prefix}.beats_dropped", self.beats_dropped)
+        registry.adopt(f"{prefix}.beats_suppressed", self.beats_suppressed)
         registry.expose(f"{prefix}.last_utilization",
                         lambda: self.last_utilization)
         registry.expose(f"{prefix}.seq", lambda: self._seq)
@@ -110,6 +115,14 @@ class HeartbeatService:
     def _run(self) -> Generator:
         while True:
             yield self.sim.timeout(self.interval)
+            if (self.fault_injector is not None
+                    and self.fault_injector.heartbeat_suppressed()):
+                # Blackout: this tick sends nothing (and, unlike the
+                # ring-full drop below, not even samples).  The sequence
+                # number does not advance, so clients read the silence as
+                # "missing heartbeat" — exactly Algorithm 1's signal.
+                self.beats_suppressed += 1
+                continue
             utilization = self._sample()
             self.last_utilization = utilization
             self._seq += 1

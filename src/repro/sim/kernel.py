@@ -225,6 +225,17 @@ class Process(Event):
         """True while the coroutine has not finished."""
         return self._ok is None
 
+    @property
+    def has_started(self) -> bool:
+        """True once the coroutine has executed its first step.
+
+        Interrupting a process that has not yet started throws the
+        :class:`Interrupt` at the generator's first instruction — before
+        any ``try`` it opens — so callers that interrupt cooperatively
+        (expecting the target to catch) must check this first.
+        """
+        return not isinstance(self._target, Initialize)
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current instant.
 

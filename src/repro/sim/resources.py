@@ -237,6 +237,16 @@ class ContainerGet(Event):
         self.amount = amount
         container._on_get(self)
 
+    def cancel(self) -> None:
+        """Withdraw the get if it has not been satisfied yet.
+
+        A cancelled get never takes quantity out of the container;
+        ``_match`` skips it, so getters queued behind it are not starved
+        (mirrors :meth:`StoreGet.cancel`).
+        """
+        if not self.triggered:
+            self.defused = True
+
 
 class ContainerPut(Event):
     __slots__ = ("amount",)
@@ -310,6 +320,11 @@ class Container:
                 put = self._putters.popleft()
                 self.level += put.amount
                 put.succeed()
+                progressed = True
+            while self._getters and self._getters[0].defused:
+                # Cancelled get (bounded-wait reservation that timed out):
+                # drop it so it neither takes quantity nor blocks the FIFO.
+                self._getters.popleft()
                 progressed = True
             if self._getters and self._getters[0].amount <= self.level:
                 get = self._getters.popleft()

@@ -310,6 +310,13 @@ class QpEndpoint:
             remote_nic = self.remote.nic
             remote_nic.ops_processed += 1
             yield sim.timeout(wqe_s)
+            if remote_nic.fault_injector is not None:
+                # Injected responder-side stall (PCIe/DMA contention);
+                # delays the snapshot, so concurrent server writes get a
+                # larger window to tear it.
+                stall = remote_nic.read_stall_s(self.remote.name)
+                if stall > 0.0:
+                    yield sim.timeout(stall)
             try:
                 target = self._validated_target(rkey, remote_addr, length)
                 data = target.rdma_read(remote_addr, length, sim.now)

@@ -116,6 +116,50 @@ class TestCommands:
                   "--clients", "2", "--requests", "5", "--keys", "200"])
 
 
+class TestChaosSubcommand:
+    FAST = ["--clients", "2", "--requests", "120", "--dataset-size", "1000"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.scenario is None
+        assert args.seed == 0
+        assert args.list is False
+
+    def test_scenario_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["chaos", "--scenario", "link-loss",
+             "--scenario", "worker-crash"])
+        assert args.scenario == ["link-loss", "worker-crash"]
+
+    def test_list_prints_all_scenarios(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        from repro.faults import SCENARIOS
+        for name in SCENARIOS:
+            assert name in out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        code = main(["chaos", "--scenario", "meteor-strike"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_single_scenario_green(self, capsys):
+        code = main(["chaos", "--scenario", "worker-crash"] + self.FAST)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker-crash" in out
+        assert "PASS" in out
+        assert "1 scenario(s) passed" in out
+
+    def test_verbose_prints_invariants(self, capsys):
+        code = main(["chaos", "--scenario", "heartbeat-blackout",
+                     "-v"] + self.FAST)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "oracle-match" in out
+        assert "fingerprint:" in out
+
+
 class TestPerfSubcommand:
     def test_perf_parser_defaults(self):
         args = build_parser().parse_args(["perf"])
