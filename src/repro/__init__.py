@@ -13,6 +13,9 @@ simulation substrate (see DESIGN.md for the substitution rationale):
 * :mod:`repro.workloads` — the paper's workload generators, including a
   synthetic rea02;
 * :mod:`repro.cluster` — experiment assembly and metrics;
+* :mod:`repro.shard` — sharded multi-server deployment: STR cluster
+  partitioning, the scatter-gather spatial router with partial-failure
+  semantics, and oracle verification (see docs/architecture.md);
 * :mod:`repro.obs` — metrics registry, trace spans and JSON export
   (see docs/observability.md).
 
@@ -54,6 +57,14 @@ from .obs import (
     write_metrics_json,
 )
 from .rtree import RStarTree, Rect, bulk_load
+from .shard import (
+    PartialResult,
+    ScatterGatherRouter,
+    ShardMap,
+    ShardedExperimentRunner,
+    partition_str,
+    run_sharded_experiment,
+)
 from .server import (
     CostModel,
     FastMessagingServer,
@@ -94,6 +105,12 @@ __all__ = [
     "RStarTree",
     "Rect",
     "bulk_load",
+    "PartialResult",
+    "ScatterGatherRouter",
+    "ShardMap",
+    "ShardedExperimentRunner",
+    "partition_str",
+    "run_sharded_experiment",
     "CostModel",
     "FastMessagingServer",
     "HeartbeatService",

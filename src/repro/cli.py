@@ -33,8 +33,9 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", default="0.0001",
                         help="query scale ('0.01', 'powerlaw', ...)")
     parser.add_argument("--workload", default="search",
-                        choices=["search", "hybrid"],
-                        help="request mix")
+                        choices=["search", "hybrid", "mixed"],
+                        help="request mix ('mixed' = read-only "
+                             "search/count/nearest)")
     parser.add_argument("--dataset-size", type=int, default=20_000,
                         help="rectangles in the pre-built tree")
     parser.add_argument("--server-cores", type=int, default=28)
@@ -70,6 +71,7 @@ def _config_from(args, scheme: str) -> ExperimentConfig:
         seed=args.seed,
         collect_timeline=getattr(args, "timeline", False),
         trace=getattr(args, "trace", False),
+        n_shards=getattr(args, "shards", None),
     )
 
 
@@ -227,6 +229,53 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+#: Workload kinds whose requests are all reads — the single bulk-loaded
+#: tree stays an exact oracle for every routed query, so `repro shard`
+#: can verify the merged results rather than just report throughput.
+_READ_ONLY_WORKLOADS = ("search", "mixed")
+
+
+def cmd_shard(args) -> int:
+    from .shard.deploy import ShardedExperimentRunner
+    from .shard.verify import verify_routed_results
+    if not PROFILES[args.fabric].rdma:
+        print(f"error: sharded Catfish needs an RDMA fabric, "
+              f"not {args.fabric!r}", file=sys.stderr)
+        return 2
+    verify = args.workload in _READ_ONLY_WORKLOADS and not args.no_verify
+    config = _config_from(args, "catfish-sharded")
+    runner = ShardedExperimentRunner(config, record_results=verify)
+    result = runner.run()
+    print(RunResult.header())
+    print(result.row())
+    _write_metrics(args, [result.metrics])
+    print(f"\nshard map ({runner.n_shards} shards):")
+    for line in runner.partition.shard_map.describe():
+        print(f"  {line}")
+    routed = sum(int(s.queries_routed) for s in runner.router_stats)
+    issued = sum(int(s.subqueries_issued) for s in runner.router_stats)
+    pruned = sum(int(s.shards_pruned) for s in runner.router_stats)
+    partial = sum(int(s.partial_results) for s in runner.router_stats)
+    print(f"\nrouter: {routed} queries -> {issued} sub-queries "
+          f"({pruned} shard visits pruned, {partial} partial results)")
+    if not verify:
+        print("oracle verification skipped "
+              f"(workload {args.workload!r} is not read-only)"
+              if args.workload not in _READ_ONLY_WORKLOADS
+              else "oracle verification skipped (--no-verify)")
+        return 0
+    summary = verify_routed_results(runner)
+    print()
+    for line in summary.describe():
+        print(line)
+    if not summary.ok:
+        print("error: merged results diverge from the single-server "
+              "oracle", file=sys.stderr)
+        return 1
+    print("merged results identical to the single-server oracle")
+    return 0
+
+
 def cmd_schemes(_args) -> int:
     print(f"{'scheme':>22} {'transport':>10} {'notify':>8} "
           f"{'offload':>9} {'multi':>6}")
@@ -251,6 +300,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--verbose", "-v", action="store_true")
     p_run.add_argument("--timeline", action="store_true",
                        help="collect and render a cpu/offload timeline")
+    p_run.add_argument("--shards", type=int, default=None,
+                       help="shard the server across N machines "
+                            "(RDMA schemes only; default: the scheme's "
+                            "own shard count)")
     _add_common_options(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -311,6 +364,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--verbose", "-v", action="store_true",
                          help="print every invariant, not just failures")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="run the sharded catfish cluster and verify the router's "
+             "merged results against a single-server oracle",
+    )
+    p_shard.add_argument("--shards", type=int, default=4,
+                         help="number of shard servers (default 4)")
+    p_shard.add_argument("--no-verify", action="store_true",
+                         help="skip the oracle check (just report "
+                              "throughput)")
+    _add_common_options(p_shard)
+    p_shard.set_defaults(func=cmd_shard, workload="mixed")
 
     p_sch = sub.add_parser("schemes", help="list available schemes")
     p_sch.set_defaults(func=cmd_schemes)

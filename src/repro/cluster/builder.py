@@ -419,5 +419,14 @@ class ExperimentRunner:
 
 
 def run_experiment(config: ExperimentConfig) -> RunResult:
-    """Convenience wrapper: build, run, collect."""
+    """Convenience wrapper: build, run, collect.
+
+    Dispatches to the sharded runner when the config (or the scheme's
+    default) asks for more than one shard, so ``run``/``compare`` treat
+    sharded and single-server schemes uniformly.
+    """
+    n_shards = config.n_shards or scheme_spec(config.scheme).shards
+    if n_shards > 1:
+        from ..shard.deploy import run_sharded_experiment
+        return run_sharded_experiment(config)
     return ExperimentRunner(config).run()

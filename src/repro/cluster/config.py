@@ -24,7 +24,7 @@ class ExperimentConfig:
     requests_per_client: int = 100
 
     # Workload.
-    workload_kind: str = "search"  # search | hybrid | churn | queries
+    workload_kind: str = "search"  # search | hybrid | churn | mixed | queries
     scale: str = "0.00001"         # "0.00001" | "0.01" | "powerlaw"
     insert_fraction: float = 0.1
     queries: Sequence[Rect] = ()
@@ -48,6 +48,11 @@ class ExperimentConfig:
     # cadence (they are "agreed when the connection is established", §IV-A).
     adaptive: Optional[AdaptiveParams] = None
     heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+
+    #: Shard count for the sharded runner; None defers to the scheme's
+    #: ``shards`` (1 for every single-server scheme).  Any value > 1
+    #: routes the run through ``repro.shard.deploy``.
+    n_shards: Optional[int] = None
 
     seed: int = 0
 
@@ -91,8 +96,10 @@ class ExperimentConfig:
                 f"{self.requests_per_client}"
             )
         if self.workload_kind not in ("search", "hybrid", "churn",
-                                      "hybrid-skewed", "queries"):
+                                      "hybrid-skewed", "mixed", "queries"):
             raise ValueError(f"unknown workload {self.workload_kind!r}")
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
         if self.adaptive is None:
             self.adaptive = AdaptiveParams(Inv=self.heartbeat_interval)
 

@@ -35,6 +35,10 @@ class SchemeSpec:
     #: predUtil variant for adaptive clients: "latest" (the paper's),
     #: "ewma" or "trend" (the §VI future-work predictors).
     predictor: str = "latest"
+    #: Default shard count: 1 = the paper's single server; > 1 runs the
+    #: scheme through the sharded cluster (``repro.shard``), one full
+    #: Catfish stack per shard behind a scatter-gather router.
+    shards: int = 1
 
 
 SCHEMES = {
@@ -115,6 +119,17 @@ SCHEMES = {
         multi_issue=True,
         heartbeats=True,
         predictor="trend",
+    ),
+    # Beyond the paper: the full Catfish stack replicated per shard
+    # behind the client-side scatter-gather spatial router.
+    "catfish-sharded": SchemeSpec(
+        name="catfish-sharded",
+        transport=TRANSPORT_RDMA,
+        notification="event",
+        offload=OFFLOAD_ADAPTIVE,
+        multi_issue=True,
+        heartbeats=True,
+        shards=4,
     ),
     # Latency bandit: learns the mode from its own observed latencies; no
     # heartbeats required.

@@ -19,6 +19,7 @@ from .plan import (
     HeartbeatBlackout,
     LinkFault,
     NicReadStall,
+    ShardLoss,
     WorkerCrash,
     WriteStorm,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "NicReadStall",
     "SCENARIOS",
     "ScenarioReport",
+    "ShardLoss",
     "WorkerCrash",
     "WriteStorm",
     "run_scenario",

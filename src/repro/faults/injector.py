@@ -29,6 +29,7 @@ from .plan import (
     HeartbeatBlackout,
     LinkFault,
     NicReadStall,
+    ShardLoss,
     WorkerCrash,
     WriteStorm,
 )
@@ -62,6 +63,8 @@ class FaultInjector:
         self.workers_restarted = Counter("faults.workers_restarted")
         self.write_storm_windows = Counter("faults.write_storm_windows")
         self.client_stalls_injected = Counter("faults.client_stalls_injected")
+        self.shards_lost = Counter("faults.shards_lost")
+        self.shards_restored = Counter("faults.shards_restored")
 
     def register_metrics(self, registry: MetricsRegistry,
                          prefix: str = "faults") -> None:
@@ -78,6 +81,8 @@ class FaultInjector:
                        self.write_storm_windows)
         registry.adopt(f"{prefix}.client_stalls_injected",
                        self.client_stalls_injected)
+        registry.adopt(f"{prefix}.shards_lost", self.shards_lost)
+        registry.adopt(f"{prefix}.shards_restored", self.shards_restored)
 
     # -- passive hooks -----------------------------------------------------
 
@@ -159,13 +164,16 @@ class FaultInjector:
         self,
         fm_server=None,
         storm_targets: Optional[Callable[[], list]] = None,
+        shard_fm_servers: Optional[list] = None,
     ) -> None:
         """Spawn the driver processes for the plan's active faults.
 
         ``fm_server`` is required if the plan contains
         :class:`WorkerCrash` faults; ``storm_targets`` (a callable
         returning the nodes to poison — re-evaluated per window, so tree
-        restructuring is tolerated) is required for :class:`WriteStorm`.
+        restructuring is tolerated) is required for :class:`WriteStorm`;
+        ``shard_fm_servers`` (one fast-messaging server per shard, dense
+        by shard id) is required for :class:`ShardLoss`.
         """
         if self._started:
             raise RuntimeError("injector already started")
@@ -180,6 +188,13 @@ class FaultInjector:
                 raise ValueError("WriteStorm fault needs storm_targets")
             self.sim.process(self._storm_driver(fault, storm_targets),
                              name="fault-storm")
+        for fault in self.plan.of_type(ShardLoss):
+            if shard_fm_servers is None:
+                raise ValueError("ShardLoss fault needs shard_fm_servers")
+            self.sim.process(
+                self._shard_loss_driver(fault, shard_fm_servers),
+                name="fault-shard-loss",
+            )
 
     def _crash_driver(self, fault: WorkerCrash, fm_server) -> Generator:
         sim = self.sim
@@ -197,6 +212,35 @@ class FaultInjector:
         for conn in crashed:
             fm_server.restart_worker(conn)
             self.workers_restarted += 1
+
+    def _shard_loss_driver(self, fault: ShardLoss,
+                           fm_servers: list) -> Generator:
+        """Crash every worker of the lost shards, restore at window end.
+
+        The shard's fabric, rings, and heartbeat service stay up — only
+        request service stops — so clients experience silence, the
+        hardest failure mode for a scatter-gather router to attribute.
+        """
+        sim = self.sim
+        if fault.start > sim.now:
+            yield sim.timeout(fault.start - sim.now)
+        targets = (fault.shard_ids if fault.shard_ids
+                   else tuple(range(len(fm_servers))))
+        crashed = []
+        for shard_id in targets:
+            fm_server = fm_servers[shard_id]
+            for conn in fm_server.connections:
+                fm_server.crash_worker(conn)
+                crashed.append((fm_server, conn))
+                self.workers_crashed += 1
+            self.shards_lost += 1
+        if fault.end > sim.now:
+            yield sim.timeout(fault.end - sim.now)
+        for fm_server, conn in crashed:
+            fm_server.restart_worker(conn)
+            self.workers_restarted += 1
+        for _shard_id in targets:
+            self.shards_restored += 1
 
     def _storm_driver(self, fault: WriteStorm,
                       storm_targets: Callable[[], list]) -> Generator:

@@ -136,6 +136,22 @@ class WriteStorm(FaultWindow):
 
 
 @dataclass(frozen=True)
+class ShardLoss(FaultWindow):
+    """Fail-stop loss of whole shards in a sharded cluster.
+
+    During the window every per-connection worker of the named shards is
+    crashed (restarted at ``end``) and the shard's heartbeat service goes
+    silent — the server machine is gone, not merely slow.  The fabric
+    stays up, so the router must notice via retry deadlines and heartbeat
+    staleness, not connection errors, and degrade to
+    :class:`~repro.shard.router.PartialResult`\\ s.  Empty ``shard_ids``
+    means every shard (a full outage).
+    """
+
+    shard_ids: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
 class ClientStall(FaultWindow):
     """Selected clients pause ``stall_s`` before each request they issue
     inside the window (GC pause / noisy neighbour).  Empty ``client_ids``

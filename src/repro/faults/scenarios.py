@@ -139,6 +139,10 @@ class ChaosScenario:
     tweaks: Tuple[Tuple[str, object], ...] = ()
     #: Injection counters (keys of ``_FIRED_COUNTERS``) that must be > 0.
     fired_checks: Tuple[str, ...] = ()
+    #: Custom harness: when set, :func:`run_scenario` hands the resolved
+    #: config to this callable instead of the single-server ``_Cluster``
+    #: (the sharded scenarios bring their own cluster and invariants).
+    runner: Optional[Callable[[ChaosConfig], "ScenarioReport"]] = None
 
 
 # -- the scenario registry ---------------------------------------------------
@@ -186,6 +190,18 @@ def _slow_client_plan(cfg: ChaosConfig) -> FaultPlan:
         ClientStall(cfg.fault_start, cfg.fault_end, client_ids=(0, 1),
                     stall_s=0.15e-3),
     ))
+
+
+def _shard_loss_plan(cfg: ChaosConfig) -> FaultPlan:
+    from ..shard.chaos import shard_loss_plan
+    return shard_loss_plan(cfg)
+
+
+def _shard_loss_runner(cfg: ChaosConfig) -> "ScenarioReport":
+    # Imported lazily: repro.shard builds on the cluster layer, which
+    # imports repro.faults — a module-level import would be a cycle.
+    from ..shard.chaos import run_shard_loss
+    return run_shard_loss(cfg)
 
 
 def _combo_plan(cfg: ChaosConfig) -> FaultPlan:
@@ -251,6 +267,21 @@ SCENARIOS: Dict[str, ChaosScenario] = {
             "clients 0/1 pause 150us before each request in the window",
             _slow_client_plan,
             fired_checks=("client-stalls",),
+        ),
+        ChaosScenario(
+            "shard-loss",
+            "one shard of a 4-shard cluster fail-stops; router degrades "
+            "to partial results",
+            _shard_loss_plan,
+            # The total retry budget (attempts x per-attempt deadline)
+            # must exhaust *inside* the outage, or every request to the
+            # dead shard blocks until the restart drain answers it and
+            # the loss is never client-visible.
+            tweaks=(
+                ("retry", RetryPolicy(deadline_s=0.15e-3, max_attempts=2,
+                                      backoff_base_s=20e-6)),
+            ),
+            runner=_shard_loss_runner,
         ),
         ChaosScenario(
             "chaos-combo",
@@ -486,6 +517,9 @@ def run_scenario(name: str, seed: int = 0,
         cfg = replace(cfg, **dict(scenario.tweaks))
     if overrides:
         cfg = replace(cfg, **overrides)
+
+    if scenario.runner is not None:
+        return scenario.runner(cfg)
 
     cluster = _Cluster(cfg, scenario.build_plan(cfg))
     sim = cluster.sim

@@ -1,0 +1,39 @@
+"""Sharded multi-server Catfish: STR partitioning + scatter-gather router.
+
+Beyond the paper: K independent Catfish servers (each a full single-server
+stack — R*-tree, fast-messaging rings, heartbeat, worker pool, adaptive
+offload) front a spatially partitioned dataset, and a client-side
+scatter-gather router fans queries out to intersecting shards, keeping
+per-shard adaptive back-off state and degrading to partial results when a
+shard is lost.  See docs/architecture.md ("Sharding").
+"""
+
+from .partition import Partition, ShardInfo, ShardMap, partition_str
+from .router import (
+    OFFLOAD_ERROR,
+    OK,
+    SKIPPED,
+    TIMEOUT,
+    PartialResult,
+    RouterStats,
+    ScatterGatherRouter,
+    merge_search_replies,
+)
+from .deploy import ShardedExperimentRunner, run_sharded_experiment
+
+__all__ = [
+    "OFFLOAD_ERROR",
+    "OK",
+    "SKIPPED",
+    "TIMEOUT",
+    "Partition",
+    "PartialResult",
+    "RouterStats",
+    "ScatterGatherRouter",
+    "ShardInfo",
+    "ShardMap",
+    "ShardedExperimentRunner",
+    "merge_search_replies",
+    "partition_str",
+    "run_sharded_experiment",
+]

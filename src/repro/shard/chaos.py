@@ -1,0 +1,206 @@
+"""The shard-loss chaos scenario: lose a shard, degrade correctly.
+
+Runs a mixed read-only workload through a 4-shard cluster while one
+shard fail-stops for the fault window, then checks the sharded system's
+two-sided correctness contract:
+
+* every *complete* :class:`~repro.shard.router.PartialResult` is exactly
+  the single-tree oracle's answer (sharding is invisible when healthy);
+* every *degraded* result is exactly the union of the surviving shards'
+  oracle answers — a strict subset of the truth with per-shard blame,
+  never a wrong or duplicated answer.
+
+The harness mirrors :func:`repro.faults.scenarios.run_scenario`'s report
+shape, so ``repro chaos`` and the smoke/test tooling treat shard-loss
+like any other scenario (invariants, fired-counters, replayable
+fingerprint).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Tuple
+
+from ..cluster.config import ExperimentConfig
+from ..faults.plan import FaultPlan, ShardLoss
+from ..faults.scenarios import ChaosConfig, ScenarioReport
+from ..rtree.bulk import bulk_load
+from ..sim.kernel import SimulationError, all_of
+from .deploy import ShardedExperimentRunner
+from .router import RouterStats
+from .verify import result_consistent
+
+#: The scenario's fixed topology: 4 shards, shard 1 lost for the window.
+N_SHARDS = 4
+LOST_SHARDS = (1,)
+
+
+def shard_loss_plan(cfg: ChaosConfig) -> FaultPlan:
+    return FaultPlan((
+        ShardLoss(cfg.fault_start, cfg.fault_end, shard_ids=LOST_SHARDS),
+    ))
+
+
+def _experiment_config(cfg: ChaosConfig) -> ExperimentConfig:
+    return ExperimentConfig(
+        scheme="catfish-sharded",
+        fabric="ib-100g",
+        n_clients=cfg.n_clients,
+        requests_per_client=cfg.requests_per_client,
+        workload_kind="mixed",
+        scale=str(cfg.query_scale),
+        dataset_size=cfg.dataset_size,
+        max_entries=cfg.max_entries,
+        server_cores=cfg.server_cores,
+        adaptive=cfg.adaptive,
+        heartbeat_interval=cfg.heartbeat_interval,
+        seed=cfg.seed,
+        fault_plan=shard_loss_plan(cfg),
+        retry=cfg.retry,
+        breaker=cfg.breaker,
+        stale_after_missing=cfg.stale_after_missing,
+        max_queue_depth=cfg.max_queue_depth,
+        n_shards=N_SHARDS,
+    )
+
+
+def run_shard_loss(cfg: ChaosConfig) -> ScenarioReport:
+    """Run the scenario under ``cfg``; returns its report (failures are
+    data, like every other chaos scenario)."""
+    runner = ShardedExperimentRunner(_experiment_config(cfg),
+                                     record_results=True)
+    sim = runner.sim
+    finished = True
+    try:
+        sim.run_until_triggered(all_of(sim, runner._drivers),
+                                limit=cfg.time_limit)
+    except SimulationError:
+        finished = False
+    sim.run(until=sim.now + cfg.grace_s)
+
+    # Read-only workload: both the single bulk-loaded tree and the
+    # per-shard trees are pure ground truth for every query.
+    global_tree = bulk_load(runner.dataset, max_entries=cfg.max_entries)
+
+    records: List[Tuple[int, int, float, str, bool]] = []
+    complete_mismatches = 0
+    degraded_mismatches = 0
+    degraded_total = 0
+    degraded_in_window = 0
+    duplicates_dropped = 0
+    for client_id, router in enumerate(runner.routers):
+        for index, request, result, t in router.log:
+            duplicates_dropped += result.duplicates_dropped
+            if not result.complete:
+                degraded_total += 1
+                if cfg.fault_start <= t < cfg.fault_end + cfg.grace_s:
+                    degraded_in_window += 1
+            if not result_consistent(runner, global_tree, request, result):
+                if result.complete:
+                    complete_mismatches += 1
+                else:
+                    degraded_mismatches += 1
+            records.append((client_id, index, t,
+                            request.op, result.complete))
+
+    issued = cfg.total_requests
+    completed = len(records)
+    times = sorted(t for _c, _i, t, _op, _ok in records)
+    pre = [t for t in times if t < cfg.fault_start]
+    post = [t for t in times if t >= cfg.fault_end]
+    pre_rate = len(pre) / cfg.fault_start if pre else 0.0
+    post_span = (times[-1] - cfg.fault_end) if post else 0.0
+    post_rate = len(post) / post_span if post_span > 0.0 else 0.0
+
+    def _router_sum(field: str) -> int:
+        return sum(int(getattr(r, field)) for r in runner.router_stats)
+
+    counters: Dict[str, int] = {
+        "shards-lost": int(runner.injector.shards_lost),
+        "shards-restored": int(runner.injector.shards_restored),
+        "workers-crashed": int(runner.injector.workers_crashed),
+        "workers-restarted": int(runner.injector.workers_restarted),
+        "beats-blacked-out": int(runner.injector.beats_blacked_out),
+    }
+    for field in RouterStats.FIELDS:
+        counters[field.replace("_", "-")] = _router_sum(field)
+
+    report = ScenarioReport(
+        name="shard-loss",
+        seed=cfg.seed,
+        issued=issued,
+        completed=completed,
+        timeouts=_router_sum("shard_timeouts"),
+        offload_errors=_router_sum("shard_offload_errors"),
+        mismatches=complete_mismatches + degraded_mismatches,
+        retries=sum(int(s.request_retries) for s in runner.client_stats),
+        duplicates_suppressed=sum(
+            int(s.duplicates_suppressed) for s in runner.client_stats
+        ),
+        unexpected_messages=sum(
+            int(s.unexpected_messages) for s in runner.client_stats
+        ),
+        pre_rate=pre_rate,
+        post_rate=post_rate,
+        end_time=sim.now,
+        counters=counters,
+    )
+
+    checks: List[Tuple[str, bool, str]] = []
+    checks.append((
+        "finished-in-time", finished,
+        f"drivers {'finished' if finished else 'still running'} at "
+        f"t={sim.now * 1e3:.3f}ms (limit {cfg.time_limit * 1e3:.0f}ms)",
+    ))
+    checks.append((
+        "completed", completed == issued,
+        f"{completed}/{issued} requests returned a PartialResult "
+        f"({degraded_total} degraded)",
+    ))
+    checks.append((
+        "complete-results-exact", complete_mismatches == 0,
+        f"{complete_mismatches} complete results disagreed with the "
+        f"single-tree oracle",
+    ))
+    checks.append((
+        "degraded-results-correct", degraded_mismatches == 0,
+        f"{degraded_mismatches} of {degraded_total} degraded results "
+        f"disagreed with their surviving shards' oracle",
+    ))
+    checks.append((
+        "exactly-once",
+        duplicates_dropped == 0 and report.unexpected_messages == 0,
+        f"{duplicates_dropped} duplicate ids reached the merge, "
+        f"{report.unexpected_messages} unattributable messages "
+        f"({report.duplicates_suppressed} late answers suppressed)",
+    ))
+    checks.append((
+        "partials-observed", degraded_in_window > 0,
+        f"{degraded_in_window} degraded results during the outage "
+        f"(loss must be client-visible, not silently absorbed)",
+    ))
+    if pre_rate > 0.0 and post_rate > 0.0:
+        recovered = post_rate >= cfg.recovery_floor * pre_rate
+        detail = (f"post {post_rate / 1e3:.0f} kops vs pre "
+                  f"{pre_rate / 1e3:.0f} kops "
+                  f"(floor {cfg.recovery_floor:.0%})")
+    else:
+        recovered, detail = True, "vacuous (no pre- or post-fault sample)"
+    checks.append(("throughput-recovered", recovered, detail))
+    for key in ("shards-lost", "shards-restored", "workers-crashed"):
+        checks.append((
+            f"fault-fired:{key}", counters[key] > 0,
+            f"counter = {counters[key]}",
+        ))
+    report.invariants = checks
+
+    digest = hashlib.sha256()
+    digest.update(f"shard-loss:{cfg.seed}:{N_SHARDS}\n".encode())
+    for client_id, index, t, op, complete in sorted(records):
+        digest.update(
+            f"{client_id},{index},{t:.15e},{op},{int(complete)}\n".encode()
+        )
+    for key in sorted(counters):
+        digest.update(f"{key}={counters[key]}\n".encode())
+    report._fingerprint = digest.hexdigest()[:16]
+    return report

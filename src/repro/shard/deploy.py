@@ -1,0 +1,464 @@
+"""Build and run a sharded Catfish cluster: K servers, routed clients.
+
+Mirrors :class:`~repro.cluster.builder.ExperimentRunner` but instantiates
+K fully independent Catfish servers — each with its own host, star
+network, R*-tree over its partition slice, fast-messaging worker pool and
+heartbeat service — on one shared simulator.  Every client opens one
+session *per shard* (so each shard's heartbeat independently drives that
+client's Algorithm 1 back-off state for that shard) and issues its
+requests through a :class:`~repro.shard.router.ScatterGatherRouter`.
+
+Determinism contract: the dataset and each client's workload stream are
+derived exactly as in the single-server runner (same seed → same items,
+same requests), while all shard-side randomness comes from
+``RngRegistry.shard(k)`` — a function of ``(seed, shard_id)`` only — so
+changing the shard count never perturbs another shard's streams and a
+sharded run is comparable against the single-server oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from ..client.adaptive import CatfishSession
+from ..client.base import CLIENT_COUNTER_FIELDS, ClientStats
+from ..client.fm_client import FmSession
+from ..client.offload_client import OffloadEngine, OffloadSession
+from ..client.predictors import make_predictor
+from ..client.resilience import CircuitBreaker
+from ..cluster.builder import _client_driver
+from ..cluster.config import ExperimentConfig
+from ..cluster.results import RunResult, merge_client_stats
+from ..cluster.schemes import (
+    OFFLOAD_ADAPTIVE,
+    OFFLOAD_ALWAYS,
+    OFFLOAD_NEVER,
+    TRANSPORT_TCP,
+    scheme_spec,
+)
+from ..faults.injector import FaultInjector
+from ..faults.plan import ShardLoss
+from ..hw.cpu import SchedulerModel
+from ..hw.host import Host
+from ..net.fabric import Network, profile_by_name
+from ..obs import NULL_TRACER, LatencyView, MetricsRegistry, Tracer, \
+    snapshot_document
+from ..server.base import RTreeServer
+from ..server.fast_messaging import FastMessagingServer
+from ..server.heartbeat import HeartbeatService
+from ..sim.kernel import Simulator, all_of
+from ..sim.rng import RngRegistry
+from ..workloads.datasets import uniform_dataset
+from ..workloads.mixes import make_workload
+from .partition import Partition, ShardMap, partition_str
+from .router import RouterStats, ScatterGatherRouter
+
+
+class _ShardHeartbeatHook:
+    """Per-shard heartbeat suppression hook.
+
+    A lost shard's heartbeat must go silent (the machine is gone), while
+    global :class:`~repro.faults.plan.HeartbeatBlackout` windows keep
+    applying to every shard — this hook composes the two on behalf of one
+    shard's :class:`~repro.server.heartbeat.HeartbeatService`.
+    """
+
+    def __init__(self, sim: Simulator, shard_id: int,
+                 loss_windows, injector: FaultInjector):
+        self.sim = sim
+        self.shard_id = shard_id
+        self.loss_windows = [
+            w for w in loss_windows
+            if not w.shard_ids or shard_id in w.shard_ids
+        ]
+        self.injector = injector
+
+    def heartbeat_suppressed(self) -> bool:
+        now = self.sim.now
+        for window in self.loss_windows:
+            if window.active(now):
+                self.injector.beats_blacked_out += 1
+                return True
+        return self.injector.heartbeat_suppressed()
+
+
+class _Shard:
+    """One shard's full server stack (host + net + tree + fm + heartbeat)."""
+
+    def __init__(self, runner: "ShardedExperimentRunner", shard_id: int,
+                 items) -> None:
+        config = runner.config
+        sim = runner.sim
+        srngs = runner.rngs.shard(shard_id)
+        self.shard_id = shard_id
+        self.network = Network(sim, runner.profile)
+        self.host = Host(
+            sim,
+            f"shard{shard_id}-server",
+            runner.profile,
+            cores=config.server_cores,
+            scheduler=SchedulerModel(
+                config.server_cores, rng=srngs.stream("scheduler")
+            ),
+        )
+        self.network.attach_server(self.host)
+        self.server = RTreeServer(
+            sim,
+            self.host,
+            list(items),
+            max_entries=config.max_entries,
+            costs=config.costs,
+            byte_mode=config.byte_mode,
+        )
+        self.fm_server = FastMessagingServer(
+            sim,
+            self.server,
+            self.network,
+            mode=runner.spec.notification,
+            max_queue_depth=config.max_queue_depth,
+        )
+        self.heartbeats = None
+        if runner.spec.heartbeats:
+            self.heartbeats = HeartbeatService(
+                sim,
+                self.host.cpu.window_utilization,
+                interval=config.heartbeat_interval,
+            )
+
+    def register_metrics(self, metrics: MetricsRegistry) -> None:
+        """Per-shard labels: everything lands under ``shard<k>.*``."""
+        label = f"shard{self.shard_id}"
+        self.fm_server.register_metrics(metrics, prefix=f"{label}.server")
+        if self.heartbeats is not None:
+            self.heartbeats.register_metrics(
+                metrics, prefix=f"{label}.heartbeat"
+            )
+        metrics.expose(f"{label}.server.searches_served",
+                       lambda: int(self.server.searches_served))
+        metrics.expose(f"{label}.server.inserts_served",
+                       lambda: int(self.server.inserts_served))
+        metrics.expose(f"{label}.server.cpu_utilization",
+                       self.host.cpu.utilization)
+        metrics.expose(f"{label}.net.server_bandwidth_gbps",
+                       self.network.server_bandwidth_gbps)
+
+
+class ShardedExperimentRunner:
+    """Builds a K-shard cluster for a config and runs it to completion."""
+
+    def __init__(self, config: ExperimentConfig,
+                 record_results: bool = False):
+        self.config = config
+        self.spec = scheme_spec(config.scheme)
+        if self.spec.transport == TRANSPORT_TCP:
+            raise ValueError(
+                f"scheme {config.scheme!r} is TCP-based; sharding needs an "
+                "RDMA scheme (fast-messaging rings per shard)"
+            )
+        self.n_shards = config.n_shards or self.spec.shards
+        if self.n_shards < 1:
+            raise ValueError(f"need >= 1 shard, got {self.n_shards}")
+        self.profile = profile_by_name(config.fabric)
+        if not self.profile.rdma:
+            raise ValueError(
+                f"sharded cluster needs an RDMA fabric, got {config.fabric!r}"
+            )
+
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        self.metrics = MetricsRegistry()
+        self.tracer = (
+            Tracer(self.sim, max_events=config.trace_max_events,
+                   components=config.trace_components)
+            if config.trace else NULL_TRACER
+        )
+
+        # Same dataset derivation as the single-server runner: the union
+        # of the shard slices is bit-identical to the unsharded dataset,
+        # which is what makes the single tree a valid oracle.
+        items = config.dataset
+        if items is None:
+            items = uniform_dataset(config.dataset_size, seed=config.seed)
+        self.dataset = items
+        self.partition: Partition = partition_str(items, self.n_shards)
+
+        self.injector: Optional[FaultInjector] = None
+        if config.fault_plan:
+            self.injector = FaultInjector(
+                self.sim, config.fault_plan,
+                rng=self.rngs.stream("faults"),
+            )
+
+        self.shards: List[_Shard] = [
+            _Shard(self, shard_id, slice_items)
+            for shard_id, slice_items in enumerate(self.partition.assignments)
+        ]
+        if self.injector is not None:
+            loss_windows = config.fault_plan.of_type(ShardLoss)
+            for shard in self.shards:
+                self.injector.attach_network(shard.network)
+                self.injector.attach_host(shard.host)
+                if shard.heartbeats is not None:
+                    shard.heartbeats.fault_injector = _ShardHeartbeatHook(
+                        self.sim, shard.shard_id, loss_windows,
+                        self.injector,
+                    )
+
+        self.client_stats: List[ClientStats] = []
+        self.router_stats: List[RouterStats] = []
+        self.routers: List[ScatterGatherRouter] = []
+        #: ``sessions[client_id][shard_id]`` — the per-shard sub-sessions.
+        self.sessions: List[List] = []
+        self._drivers = []
+        self._record_results = record_results
+        self._build_clients()
+
+        if self.injector is not None:
+            self.injector.start(
+                storm_targets=lambda: [s.server.tree.root
+                                       for s in self.shards],
+                shard_fm_servers=[s.fm_server for s in self.shards],
+            )
+        for shard in self.shards:
+            if shard.heartbeats is not None:
+                shard.heartbeats.start()
+        self._register_metrics()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_clients(self) -> None:
+        config = self.config
+        workload_fn = make_workload(
+            config.workload_kind,
+            scale_spec=config.scale,
+            n_requests=config.requests_per_client,
+            insert_fraction=config.insert_fraction,
+            queries=config.queries,
+        )
+        for client_id in range(config.n_clients):
+            host = Host(
+                self.sim,
+                f"client-{client_id}",
+                self.profile,
+                cores=config.client_cores,
+            )
+            stats = ClientStats()
+            shard_sessions = [
+                self._build_shard_session(client_id, shard, host, stats)
+                for shard in self.shards
+            ]
+            router_stats = RouterStats()
+            router = ScatterGatherRouter(
+                self.sim,
+                # Each client gets its own map copy: note_insert is
+                # client-local routing state, like a real client cache.
+                ShardMap(list(self.partition.shard_map)),
+                shard_sessions,
+                stats,
+                router_stats=router_stats,
+                breaker_params=config.breaker,
+                record=self._record_results,
+            )
+            # Workload stream identical to the single-server runner: the
+            # oracle comparison depends on this line not diverging.
+            rng = self.rngs.fork(f"client-{client_id}").stream("workload")
+            requests = workload_fn(client_id, rng)
+            driver = self.sim.process(
+                _client_driver(self.sim, router, requests, stats,
+                               injector=self.injector,
+                               client_id=client_id),
+                name=f"client-{client_id}",
+            )
+            self.client_stats.append(stats)
+            self.router_stats.append(router_stats)
+            self.routers.append(router)
+            self.sessions.append(shard_sessions)
+            self._drivers.append(driver)
+
+    def _build_shard_session(self, client_id: int, shard: _Shard,
+                             host: Host, stats: ClientStats):
+        """One client's session against one shard (cf. ``_build_session``).
+
+        Client-side randomness is shard-derived: ``(seed, shard_id)``
+        then per-client forks, so adding shards never perturbs the
+        retry/back-off draws against existing shards.
+        """
+        config = self.config
+        crngs = self.rngs.shard(shard.shard_id).fork(f"client-{client_id}")
+        conn = shard.fm_server.open_connection(host)
+        fm = FmSession(
+            self.sim, conn, client_id, stats,
+            retry=config.retry,
+            rng=crngs.stream("retry"),
+        )
+        if shard.heartbeats is not None:
+            shard.heartbeats.subscribe(
+                conn.response_ring,
+                lambda hb, c=conn: c.server_post_response(hb),
+            )
+        if self.spec.offload == OFFLOAD_NEVER:
+            return fm
+        engine = OffloadEngine(
+            self.sim,
+            conn.client_end,
+            shard.server.offload_descriptor(),
+            config.costs,
+            stats,
+            multi_issue=self.spec.multi_issue,
+            tracer=self.tracer,
+        )
+        if self.spec.offload == OFFLOAD_ALWAYS:
+            return OffloadSession(engine, fm, stats)
+        if self.spec.offload == OFFLOAD_ADAPTIVE:
+            breaker = (CircuitBreaker(self.sim, config.breaker)
+                       if config.breaker is not None else None)
+            return CatfishSession(
+                self.sim,
+                fm,
+                engine,
+                stats,
+                params=config.adaptive,
+                rng=crngs.stream("backoff"),
+                pred_util=make_predictor(self.spec.predictor),
+                tracer=self.tracer,
+                breaker=breaker,
+                stale_after_missing=config.stale_after_missing,
+            )
+        raise ValueError(
+            f"offload mode {self.spec.offload!r} is not supported sharded"
+        )
+
+    def _register_metrics(self) -> None:
+        m = self.metrics
+        m.expose("shard.n_shards", lambda: self.n_shards)
+        for shard in self.shards:
+            shard.register_metrics(m)
+        if self.injector is not None:
+            self.injector.register_metrics(m)
+
+        # Cluster-wide aggregates keep the single-server metric names, so
+        # dashboards and the compare harness read both layouts.
+        m.expose("server.searches_served",
+                 lambda: sum(int(s.server.searches_served)
+                             for s in self.shards))
+        m.expose("server.inserts_served",
+                 lambda: sum(int(s.server.inserts_served)
+                             for s in self.shards))
+        m.expose("server.cpu_utilization", self._mean_cpu_utilization)
+        m.expose("net.server_bandwidth_gbps", self._total_bandwidth_gbps)
+
+        stats_list = self.client_stats
+        for field in CLIENT_COUNTER_FIELDS:
+            m.expose(
+                f"client.{field}",
+                lambda f=field: sum(int(getattr(s, f)) for s in stats_list),
+            )
+        router_stats = self.router_stats
+        for field in RouterStats.FIELDS:
+            m.expose(
+                f"router.{field}",
+                lambda f=field: sum(int(getattr(r, f))
+                                    for r in router_stats),
+            )
+
+    def _mean_cpu_utilization(self) -> float:
+        return (sum(s.host.cpu.utilization() for s in self.shards)
+                / len(self.shards))
+
+    def _total_bandwidth_gbps(self) -> float:
+        return sum(s.network.server_bandwidth_gbps() for s in self.shards)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run until every client finished its request stream."""
+        done = all_of(self.sim, self._drivers)
+        self.sim.run_until_triggered(done)
+        return self._collect()
+
+    def _collect(self) -> RunResult:
+        config = self.config
+        elapsed = self.sim.now
+        merged = merge_client_stats(self.client_stats)
+        total = int(merged.requests_sent)
+        throughput_kops = (total / elapsed / 1e3) if elapsed > 0 else 0.0
+        to_us = 1e6
+        self.metrics.adopt(
+            "client.latency_us",
+            LatencyView(merged.latency, scale=to_us, unit="us"),
+        )
+        self.metrics.adopt(
+            "client.search_latency_us",
+            LatencyView(merged.search_latency, scale=to_us, unit="us"),
+        )
+        heartbeats_sent = sum(
+            int(s.heartbeats.beats_sent)
+            for s in self.shards if s.heartbeats is not None
+        )
+        heartbeats_dropped = sum(
+            int(s.heartbeats.beats_dropped)
+            for s in self.shards if s.heartbeats is not None
+        )
+        total_bandwidth = self._total_bandwidth_gbps()
+        return RunResult(
+            scheme=config.scheme,
+            fabric=config.fabric,
+            n_clients=config.n_clients,
+            total_requests=total,
+            elapsed_s=elapsed,
+            throughput_kops=throughput_kops,
+            mean_latency_us=merged.latency.mean * to_us,
+            p50_latency_us=merged.latency.percentile(50) * to_us,
+            p99_latency_us=merged.latency.percentile(99) * to_us,
+            mean_search_latency_us=(
+                merged.search_latency.mean * to_us
+                if merged.search_latency.count
+                else float("nan")
+            ),
+            server_cpu_utilization=self._mean_cpu_utilization(),
+            server_bandwidth_gbps=total_bandwidth,
+            server_bandwidth_utilization=(
+                total_bandwidth * 1e9
+                / (self.profile.bandwidth_bps * self.n_shards)
+            ),
+            offload_fraction=merged.offload_fraction,
+            torn_retries=int(merged.torn_retries),
+            search_restarts=int(merged.search_restarts),
+            heartbeats_sent=heartbeats_sent,
+            heartbeats_dropped=heartbeats_dropped,
+            searches_served_by_server=sum(
+                int(s.server.searches_served) for s in self.shards
+            ),
+            inserts_served=sum(
+                int(s.server.inserts_served) for s in self.shards
+            ),
+            extra={
+                "n_shards": float(self.n_shards),
+                "partial_results": float(sum(
+                    int(r.partial_results) for r in self.router_stats
+                )),
+                "shards_pruned": float(sum(
+                    int(r.shards_pruned) for r in self.router_stats
+                )),
+            },
+            metrics=snapshot_document(
+                self.metrics,
+                tracer=self.tracer if config.trace else None,
+                meta={
+                    "scheme": config.scheme,
+                    "fabric": config.fabric,
+                    "n_clients": config.n_clients,
+                    "n_shards": self.n_shards,
+                    "requests_per_client": config.requests_per_client,
+                    "workload": config.workload_kind,
+                    "seed": config.seed,
+                    "elapsed_s": elapsed,
+                    "throughput_kops": throughput_kops,
+                },
+            ),
+        )
+
+
+def run_sharded_experiment(config: ExperimentConfig) -> RunResult:
+    """Convenience wrapper: build, run, collect."""
+    return ShardedExperimentRunner(config).run()

@@ -1,0 +1,251 @@
+"""Spatial partitioning: STR tiling of a dataset into K shards.
+
+The sharded cluster splits one dataset across K independent Catfish
+servers.  The partitioner reuses the STR idea the bulk loader is built on
+(sort by center x, slice into columns, sort each column by center y, cut
+into tiles), but at the *cluster* level: one tile = one shard.
+
+Two rectangles describe each shard:
+
+* its **tile** — the disjoint routing cell.  Tiles partition the whole
+  plane (outer tiles extend to infinity), so every point belongs to
+  exactly one tile and write routing (by rectangle center) is total and
+  unambiguous;
+* its **MBR** — the minimum bounding rectangle of the shard's *contents*.
+  Items are assigned by center, so an item may overhang its tile; the MBR
+  covers the overhang.  Read queries scatter to every shard whose MBR
+  intersects the query, which is exact: each item lives in exactly one
+  shard, and that shard's MBR covers it entirely.
+
+The map is compact — K tiles + K MBRs + K counts — which is what the
+router consults per query (RDMAvisor's thin-routing-layer argument: keep
+the per-query routing state small enough to live client-side).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..rtree.geometry import Rect
+
+#: Routing tiles extend to infinity at the partition borders so routing
+#: is total over the plane (queries/inserts outside [0,1]^2 still route).
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard's routing entry in the shard map."""
+
+    shard_id: int
+    #: Disjoint routing cell (plane-covering; used for write routing).
+    tile: Rect
+    #: MBR of the shard's current contents; None while the shard is empty.
+    mbr: Optional[Rect]
+    #: Items assigned at partition time (grows with routed inserts).
+    count: int
+
+
+class ShardMap:
+    """The compact client-side routing table of a sharded cluster."""
+
+    def __init__(self, shards: Sequence[ShardInfo]):
+        if not shards:
+            raise ValueError("a shard map needs at least one shard")
+        self._shards: List[ShardInfo] = list(shards)
+        for index, info in enumerate(self._shards):
+            if info.shard_id != index:
+                raise ValueError(
+                    f"shard ids must be dense: slot {index} holds "
+                    f"{info.shard_id}"
+                )
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __iter__(self):
+        return iter(self._shards)
+
+    def __getitem__(self, shard_id: int) -> ShardInfo:
+        return self._shards[shard_id]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    # -- read routing ------------------------------------------------------
+
+    def shards_for(self, rect: Rect) -> List[int]:
+        """Shards whose contents may intersect ``rect`` (exact superset)."""
+        return [
+            info.shard_id
+            for info in self._shards
+            if info.mbr is not None and info.mbr.intersects(rect)
+        ]
+
+    def nonempty_shards(self) -> List[int]:
+        """Shards holding at least one item (kNN scatters to all of them)."""
+        return [info.shard_id for info in self._shards
+                if info.mbr is not None]
+
+    # -- write routing -----------------------------------------------------
+
+    def owner_of(self, rect: Rect) -> int:
+        """The single shard owning ``rect`` (tile containing its center)."""
+        cx, cy = rect.center()
+        for info in self._shards:
+            tile = info.tile
+            # Half-open on the max edges so tile borders are unambiguous
+            # (the outermost tiles are unbounded, so every point matches).
+            if (tile.minx <= cx and (cx < tile.maxx or tile.maxx == _INF)
+                    and tile.miny <= cy
+                    and (cy < tile.maxy or tile.maxy == _INF)):
+                return info.shard_id
+        # Unreachable: the tiles cover the plane.
+        raise AssertionError(f"no tile covers center ({cx}, {cy})")
+
+    def note_insert(self, shard_id: int, rect: Rect) -> None:
+        """Grow a shard's MBR after routing an insert to it.
+
+        The map is client-side state: keeping it in sync with the writes
+        this client routed is what keeps later reads exact (an insert
+        overhanging the shard MBR must widen the scatter set).
+        """
+        info = self._shards[shard_id]
+        mbr = rect if info.mbr is None else info.mbr.union(rect)
+        self._shards[shard_id] = ShardInfo(
+            shard_id=shard_id, tile=info.tile, mbr=mbr,
+            count=info.count + 1,
+        )
+
+    def describe(self) -> List[str]:
+        """One human-readable line per shard."""
+        lines = []
+        for info in self._shards:
+            mbr = (f"[{info.mbr.minx:.3f},{info.mbr.miny:.3f} .. "
+                   f"{info.mbr.maxx:.3f},{info.mbr.maxy:.3f}]"
+                   if info.mbr is not None else "(empty)")
+            lines.append(
+                f"shard {info.shard_id}: {info.count:>7} items, mbr {mbr}"
+            )
+        return lines
+
+
+@dataclass(frozen=True)
+class Partition:
+    """The partitioner's output: per-shard item lists plus the map."""
+
+    shard_map: ShardMap
+    assignments: Tuple[Tuple[Tuple[Rect, int], ...], ...]
+
+    @property
+    def n_shards(self) -> int:
+        return self.shard_map.n_shards
+
+
+def partition_str(
+    items: Sequence[Tuple[Rect, int]], n_shards: int
+) -> Partition:
+    """Split ``(rect, data_id)`` items into ``n_shards`` STR tiles.
+
+    Items are assigned by rectangle center: sort by center x, cut into
+    ``ceil(sqrt(K))`` columns of near-equal cardinality, sort each column
+    by center y and cut into rows, for K tiles total.  Tile borders are
+    midpoints between adjacent item centers, so the tiles are disjoint
+    and plane-covering; shard sizes differ by at most one item per cut.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards == 1:
+        tile = Rect(-_INF, -_INF, _INF, _INF)
+        mbr = (Rect.union_of(r for r, _ in items) if items else None)
+        shard_map = ShardMap([ShardInfo(0, tile, mbr, len(items))])
+        return Partition(shard_map, (tuple(items),))
+
+    centers = [(rect.center(), rect, data_id) for rect, data_id in items]
+    by_x = sorted(centers, key=lambda c: (c[0][0], c[0][1], c[2]))
+
+    n_cols = max(1, math.ceil(math.sqrt(n_shards)))
+    n_cols = min(n_cols, n_shards)
+    # Rows per column: distribute K over the columns as evenly as possible.
+    base, extra = divmod(n_shards, n_cols)
+    rows_per_col = [base + (1 if c < extra else 0) for c in range(n_cols)]
+
+    # Column cuts: split the x-sorted items into n_cols near-equal runs.
+    col_sizes = _even_split(len(by_x), n_cols)
+    columns: List[List] = []
+    start = 0
+    for size in col_sizes:
+        columns.append(by_x[start:start + size])
+        start += size
+
+    x_cuts = _cut_positions(
+        columns, lambda entry: entry[0][0]
+    )
+
+    tiles: List[Rect] = []
+    for col_index, column in enumerate(columns):
+        minx = -_INF if col_index == 0 else x_cuts[col_index - 1]
+        maxx = _INF if col_index == n_cols - 1 else x_cuts[col_index]
+        n_rows = rows_per_col[col_index]
+        by_y = sorted(column, key=lambda c: (c[0][1], c[0][0], c[2]))
+        row_sizes = _even_split(len(by_y), n_rows)
+        rows: List[List] = []
+        start = 0
+        for size in row_sizes:
+            rows.append(by_y[start:start + size])
+            start += size
+        y_cuts = _cut_positions(rows, lambda entry: entry[0][1])
+        for row_index in range(n_rows):
+            miny = -_INF if row_index == 0 else y_cuts[row_index - 1]
+            maxy = _INF if row_index == n_rows - 1 else y_cuts[row_index]
+            tiles.append(Rect(minx, miny, maxx, maxy))
+
+    # Assignment is *by tile ownership*, not by the sorted runs the cuts
+    # came from: ties exactly on a cut line would otherwise let the run
+    # and the (half-open) tile disagree about an item, and delete routing
+    # — which can only consult the tile — would then miss it.
+    probe = ShardMap([ShardInfo(i, tile, None, 0)
+                      for i, tile in enumerate(tiles)])
+    buckets: List[List[Tuple[Rect, int]]] = [[] for _ in tiles]
+    for _center, rect, data_id in centers:
+        buckets[probe.owner_of(rect)].append((rect, data_id))
+
+    shards: List[ShardInfo] = []
+    assignments: List[Tuple[Tuple[Rect, int], ...]] = []
+    for shard_id, (tile, bucket) in enumerate(zip(tiles, buckets)):
+        contents = tuple(bucket)
+        mbr = Rect.union_of(r for r, _ in contents) if contents else None
+        shards.append(ShardInfo(shard_id, tile, mbr, len(contents)))
+        assignments.append(contents)
+
+    return Partition(ShardMap(shards), tuple(assignments))
+
+
+def _even_split(total: int, parts: int) -> List[int]:
+    """Sizes of ``parts`` near-equal consecutive runs summing to ``total``."""
+    base, extra = divmod(total, parts)
+    return [base + (1 if p < extra else 0) for p in range(parts)]
+
+
+def _cut_positions(runs: List[List], key) -> List[float]:
+    """Border coordinates between consecutive runs (midpoint of the gap).
+
+    Empty runs (more shards than items) reuse the previous cut, which
+    yields zero-width tiles that never own anything — harmless, since
+    ownership is half-open and their MBR stays None.
+    """
+    cuts: List[float] = []
+    previous = 0.0
+    for left, right in zip(runs, runs[1:]):
+        if left and right:
+            cut = (key(left[-1]) + key(right[0])) / 2.0
+        elif left:
+            cut = key(left[-1])
+        else:
+            cut = previous
+        cuts.append(cut)
+        previous = cut
+    return cuts

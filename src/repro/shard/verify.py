@@ -1,0 +1,134 @@
+"""Oracle verification of routed results.
+
+The sharded cluster's correctness contract is checkable exactly because
+the partition is a *function* of (dataset, K): the union of the shard
+slices is the dataset, shard contents are disjoint, and the per-shard
+R*-trees and a single bulk-loaded tree over the whole dataset are all
+pure ground truth for read queries.  Two checks follow:
+
+* a **complete** :class:`~repro.shard.router.PartialResult` must equal
+  the single-tree oracle's answer — sharding invisible when healthy;
+* a **degraded** one must equal the union of its *answering* shards'
+  oracle answers — missing exactly the lost shards' contribution,
+  nothing more, nothing less.
+
+Used by ``repro shard`` (CLI verification run), the shard-loss chaos
+scenario, and the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..client.base import OP_COUNT, OP_NEAREST, OP_SEARCH, READ_OPS, Request
+from ..rtree.bulk import bulk_load
+from .router import OK, PartialResult
+
+
+def _ok_shards(result: PartialResult) -> List[int]:
+    return [s for s, status in result.statuses.items() if status == OK]
+
+
+def expected_search_ids(runner, tree, request: Request,
+                        result: PartialResult) -> Tuple[int, ...]:
+    """Oracle data ids: global tree when complete, union of the answering
+    shards' trees when degraded (shard contents are disjoint)."""
+    if result.complete:
+        return tuple(sorted(tree.search(request.rect).data_ids))
+    ids: List[int] = []
+    for shard_id in _ok_shards(result):
+        shard_tree = runner.shards[shard_id].server.tree
+        ids.extend(shard_tree.search(request.rect).data_ids)
+    return tuple(sorted(ids))
+
+
+def expected_nearest(runner, request: Request,
+                     scope_shards) -> List[Tuple[float, int]]:
+    """k nearest over ``scope_shards``, merged exactly as the router
+    merges: by (distance², data id)."""
+    cx, cy = request.rect.center()
+    candidates: List[Tuple[float, int]] = []
+    for shard_id in scope_shards:
+        shard_tree = runner.shards[shard_id].server.tree
+        for rect, data_id in shard_tree.nearest(cx, cy, request.k).matches:
+            candidates.append((rect.min_dist2_point(cx, cy), data_id))
+    candidates.sort()
+    return candidates[:request.k]
+
+
+def result_consistent(runner, tree, request: Request,
+                      result: PartialResult) -> bool:
+    """True iff one routed read's result matches its oracle."""
+    if request.op == OP_SEARCH:
+        got = tuple(sorted(d for _r, d in result.results))
+        return got == expected_search_ids(runner, tree, request, result)
+    if request.op == OP_COUNT:
+        expected = expected_search_ids(runner, tree, request, result)
+        return result.results == len(expected)
+    if request.op == OP_NEAREST:
+        scope = (runner.partition.shard_map.nonempty_shards()
+                 if result.complete else _ok_shards(result))
+        cx, cy = request.rect.center()
+        got = [(r.min_dist2_point(cx, cy), d) for r, d in result.results]
+        return got == expected_nearest(runner, request, scope)
+    raise ValueError(f"cannot oracle-check op {request.op!r}")
+
+
+@dataclass
+class VerificationSummary:
+    """Outcome of checking every recorded routed read against the oracle."""
+
+    checked: int = 0
+    complete_results: int = 0
+    degraded_results: int = 0
+    complete_mismatches: int = 0
+    degraded_mismatches: int = 0
+    duplicates_dropped: int = 0
+    skipped_writes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (self.checked > 0
+                and self.complete_mismatches == 0
+                and self.degraded_mismatches == 0
+                and self.duplicates_dropped == 0)
+
+    def describe(self) -> List[str]:
+        return [
+            f"checked {self.checked} read results against the "
+            f"single-tree oracle",
+            f"  complete: {self.complete_results} "
+            f"({self.complete_mismatches} mismatches)",
+            f"  degraded: {self.degraded_results} "
+            f"({self.degraded_mismatches} mismatches vs surviving shards)",
+            f"  duplicates dropped by merge: {self.duplicates_dropped}",
+        ]
+
+
+def verify_routed_results(runner, tree=None) -> VerificationSummary:
+    """Check every logged result of a ``record_results=True`` run.
+
+    Requires a read-only (or at least read-checkable) run: writes in the
+    log are skipped, but reads issued *after* a write would be checked
+    against a stale oracle — verify only read-only workloads.
+    """
+    if tree is None:
+        tree = bulk_load(runner.dataset,
+                         max_entries=runner.config.max_entries)
+    summary = VerificationSummary()
+    for router in runner.routers:
+        for _index, request, result, _t in router.log:
+            if request.op not in READ_OPS:
+                summary.skipped_writes += 1
+                continue
+            summary.checked += 1
+            summary.duplicates_dropped += result.duplicates_dropped
+            consistent = result_consistent(runner, tree, request, result)
+            if result.complete:
+                summary.complete_results += 1
+                summary.complete_mismatches += 0 if consistent else 1
+            else:
+                summary.degraded_results += 1
+                summary.degraded_mismatches += 0 if consistent else 1
+    return summary

@@ -35,3 +35,15 @@ class RngRegistry:
         """Derive a child registry (e.g. one per simulated client)."""
         digest = hashlib.sha256(f"{self.seed}:fork:{salt}".encode()).digest()
         return RngRegistry(int.from_bytes(digest[:8], "big"))
+
+    def shard(self, shard_id: int) -> "RngRegistry":
+        """Derive the registry for one shard of a sharded cluster.
+
+        The child depends on ``(seed, shard_id)`` only — never on the
+        total shard count — so growing a cluster from 4 to 8 shards
+        leaves shards 0-3 drawing exactly the streams they drew before,
+        and a sharded run is replayable shard by shard.
+        """
+        if shard_id < 0:
+            raise ValueError(f"shard_id must be >= 0, got {shard_id}")
+        return self.fork(f"shard-{shard_id}")

@@ -12,7 +12,14 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Sequence
 
-from ..client.base import OP_DELETE, OP_INSERT, OP_SEARCH, Request
+from ..client.base import (
+    OP_COUNT,
+    OP_DELETE,
+    OP_INSERT,
+    OP_NEAREST,
+    OP_SEARCH,
+    Request,
+)
 from ..rtree.geometry import Rect
 from .datasets import skewed_insert_rect
 from .scales import scale_generator
@@ -137,6 +144,33 @@ def skewed_hybrid_mix(
     return requests
 
 
+def mixed_read_mix(
+    rng: random.Random,
+    scale_gen,
+    n_requests: int,
+    count_fraction: float = 0.15,
+    nearest_fraction: float = 0.15,
+    k: int = 5,
+) -> List[Request]:
+    """Read-only mix of range searches, window counts and kNN queries.
+
+    Read-only by construction so a bulk-loaded single tree stays an exact
+    oracle for the whole run — the verification workload of
+    ``repro shard`` and the sharded router tests.
+    """
+    requests: List[Request] = []
+    for _ in range(n_requests):
+        roll = rng.random()
+        rect = scale_gen.next_rect(rng)
+        if roll < count_fraction:
+            requests.append(Request(OP_COUNT, rect))
+        elif roll < count_fraction + nearest_fraction:
+            requests.append(Request(OP_NEAREST, rect, k=k))
+        else:
+            requests.append(Request(OP_SEARCH, rect))
+    return requests
+
+
 def query_stream(queries: Sequence[Rect], rng: random.Random,
                  n_requests: int) -> List[Request]:
     """Sample ``n_requests`` searches from a fixed query set (rea02)."""
@@ -185,6 +219,9 @@ def make_workload(
         return lambda client_id, rng: skewed_hybrid_mix(
             rng, gen, n_requests, client_id, hotspots, insert_fraction
         )
+    if kind == "mixed":
+        gen = scale_generator(scale_spec)
+        return lambda client_id, rng: mixed_read_mix(rng, gen, n_requests)
     if kind == "queries":
         frozen = list(queries)
         return lambda client_id, rng: query_stream(frozen, rng, n_requests)

@@ -160,6 +160,57 @@ class TestChaosSubcommand:
         assert "fingerprint:" in out
 
 
+class TestShardSubcommand:
+    SMALL = ["--clients", "2", "--requests", "20",
+             "--dataset-size", "600", "--server-cores", "2",
+             "--scale", "0.02"]
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["shard"])
+        assert args.shards == 4
+        assert args.workload == "mixed"
+        assert args.no_verify is False
+
+    def test_shard_verifies_against_oracle(self, capsys):
+        code = main(["shard", "--shards", "3"] + self.SMALL)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard map (3 shards)" in out
+        assert "identical to the single-server oracle" in out
+
+    def test_shard_rejects_non_rdma_fabric(self, capsys):
+        code = main(["shard", "--fabric", "eth-1g"] + self.SMALL)
+        assert code == 2
+        assert "RDMA" in capsys.readouterr().err
+
+    def test_no_verify_skips_oracle(self, capsys):
+        code = main(["shard", "--no-verify"] + self.SMALL)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verification skipped" in out
+        assert "oracle" not in out.split("skipped")[1]
+
+    def test_run_accepts_shards_flag(self, capsys):
+        code = main(["run", "--scheme", "catfish",
+                     "--shards", "2"] + self.SMALL)
+        assert code == 0
+        assert "catfish" in capsys.readouterr().out
+
+    def test_run_sharded_scheme(self, capsys):
+        code = main(["run", "--scheme", "catfish-sharded"] + self.SMALL)
+        assert code == 0
+        assert "catfish-sharded" in capsys.readouterr().out
+
+    def test_mixed_workload_single_server(self, capsys):
+        code = main(["run", "--scheme", "catfish",
+                     "--workload", "mixed"] + self.SMALL)
+        assert code == 0
+
+    def test_chaos_shard_loss_listed(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        assert "shard-loss" in capsys.readouterr().out
+
+
 class TestPerfSubcommand:
     def test_perf_parser_defaults(self):
         args = build_parser().parse_args(["perf"])

@@ -1,0 +1,167 @@
+"""Tests for the STR cluster partitioner and shard map."""
+
+import random
+
+import pytest
+
+from repro.rtree.geometry import Rect
+from repro.shard.partition import ShardInfo, ShardMap, partition_str
+
+
+def grid_items(n):
+    """n x n grid of small rects with distinct centers."""
+    items = []
+    data_id = 0
+    for i in range(n):
+        for j in range(n):
+            x, y = i / n, j / n
+            items.append((Rect(x, y, x + 0.4 / n, y + 0.4 / n), data_id))
+            data_id += 1
+    return items
+
+
+def random_items(n, seed=0):
+    rng = random.Random(seed)
+    items = []
+    for data_id in range(n):
+        x, y = rng.random(), rng.random()
+        w, h = rng.random() * 0.02, rng.random() * 0.02
+        items.append((Rect(x, y, x + w, y + h), data_id))
+    return items
+
+
+class TestPartitionStr:
+    def test_every_item_assigned_exactly_once(self):
+        items = random_items(300)
+        part = partition_str(items, 4)
+        assigned = sorted(d for bucket in part.assignments
+                          for _r, d in bucket)
+        assert assigned == sorted(d for _r, d in items)
+
+    def test_assignment_matches_tile_ownership(self):
+        """The authoritative rule: an item lives in the shard whose tile
+        contains its center — delete routing relies on this."""
+        for n_shards in (2, 3, 4, 6, 8):
+            part = partition_str(random_items(200), n_shards)
+            for shard_id, bucket in enumerate(part.assignments):
+                for rect, _d in bucket:
+                    assert part.shard_map.owner_of(rect) == shard_id
+
+    def test_tie_on_cut_line_is_consistent(self):
+        """Items exactly on a cut coordinate still agree with owner_of."""
+        # Two x-columns of identical centers forces cuts through the gap
+        # midpoints; a third column sits exactly on a plausible cut.
+        items = []
+        for i, x in enumerate((0.25, 0.5, 0.75)):
+            for j in range(10):
+                r = Rect(x - 0.01, j / 10, x + 0.01, j / 10 + 0.02)
+                items.append((r, i * 10 + j))
+        part = partition_str(items, 4)
+        for shard_id, bucket in enumerate(part.assignments):
+            for rect, _d in bucket:
+                assert part.shard_map.owner_of(rect) == shard_id
+
+    def test_counts_match_buckets(self):
+        part = partition_str(random_items(100), 5)
+        for info, bucket in zip(part.shard_map, part.assignments):
+            assert info.count == len(bucket)
+
+    def test_roughly_balanced(self):
+        part = partition_str(random_items(400), 4)
+        counts = [info.count for info in part.shard_map]
+        assert sum(counts) == 400
+        # STR with distinct random centers splits near-evenly.
+        assert min(counts) >= 50
+
+    def test_mbr_covers_contents(self):
+        part = partition_str(random_items(150), 6)
+        for info, bucket in zip(part.shard_map, part.assignments):
+            for rect, _d in bucket:
+                assert info.mbr.minx <= rect.minx
+                assert info.mbr.miny <= rect.miny
+                assert info.mbr.maxx >= rect.maxx
+                assert info.mbr.maxy >= rect.maxy
+
+    def test_single_shard(self):
+        items = random_items(20)
+        part = partition_str(items, 1)
+        assert part.n_shards == 1
+        assert part.shard_map[0].count == 20
+        assert part.assignments[0] == tuple(items)
+        assert part.shard_map[0].tile.minx == float("-inf")
+        assert part.shard_map[0].tile.maxx == float("inf")
+
+    def test_more_shards_than_items(self):
+        items = random_items(3)
+        part = partition_str(items, 8)
+        assigned = sorted(d for bucket in part.assignments
+                          for _r, d in bucket)
+        assert assigned == [0, 1, 2]
+        nonempty = part.shard_map.nonempty_shards()
+        assert len(nonempty) <= 3
+        for info in part.shard_map:
+            if info.count == 0:
+                assert info.mbr is None
+
+    def test_empty_dataset_single_shard(self):
+        part = partition_str([], 1)
+        assert part.shard_map[0].mbr is None
+        assert part.shard_map.nonempty_shards() == []
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            partition_str(random_items(5), 0)
+
+
+class TestShardMap:
+    def test_owner_is_total_over_the_plane(self):
+        part = partition_str(grid_items(5), 4)
+        rng = random.Random(1)
+        for _ in range(200):
+            # Points far outside the dataset domain must still route.
+            x = rng.uniform(-50.0, 50.0)
+            y = rng.uniform(-50.0, 50.0)
+            owner = part.shard_map.owner_of(Rect(x, y, x, y))
+            assert 0 <= owner < part.n_shards
+
+    def test_shards_for_is_exact_superset(self):
+        """Every item's own rect must scatter to the shard holding it."""
+        items = random_items(120)
+        part = partition_str(items, 4)
+        holder = {d: k for k, bucket in enumerate(part.assignments)
+                  for _r, d in bucket}
+        for rect, data_id in items:
+            assert holder[data_id] in part.shard_map.shards_for(rect)
+
+    def test_shards_for_prunes_disjoint_queries(self):
+        part = partition_str(grid_items(6), 4)
+        faraway = Rect(10.0, 10.0, 11.0, 11.0)
+        assert part.shard_map.shards_for(faraway) == []
+
+    def test_note_insert_grows_mbr_and_count(self):
+        part = partition_str(grid_items(4), 4)
+        shard_map = part.shard_map
+        outlier = Rect(0.0, 10.0, 0.1, 10.1)
+        owner = shard_map.owner_of(outlier)
+        before = shard_map[owner].count
+        shard_map.note_insert(owner, outlier)
+        assert shard_map[owner].count == before + 1
+        assert shard_map[owner].mbr.maxy >= 10.1
+        # The widened MBR now scatters reads for the outlier's region.
+        assert owner in shard_map.shards_for(outlier)
+
+    def test_rejects_empty_map(self):
+        with pytest.raises(ValueError):
+            ShardMap([])
+
+    def test_rejects_sparse_ids(self):
+        tile = Rect(float("-inf"), float("-inf"),
+                    float("inf"), float("inf"))
+        with pytest.raises(ValueError):
+            ShardMap([ShardInfo(1, tile, None, 0)])
+
+    def test_describe_mentions_every_shard(self):
+        part = partition_str(random_items(50), 3)
+        lines = part.shard_map.describe()
+        assert len(lines) == 3
+        assert "shard 0" in lines[0]

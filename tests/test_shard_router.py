@@ -1,0 +1,273 @@
+"""Tests for the scatter-gather router: partial results, exactly-once
+merge, pruning, breakers."""
+
+import pytest
+
+from repro.client.base import (
+    OP_COUNT,
+    OP_INSERT,
+    OP_NEAREST,
+    OP_SEARCH,
+    ClientStats,
+    Request,
+)
+from repro.client.offload_client import OffloadError
+from repro.client.resilience import BreakerParams, RequestTimeoutError
+from repro.rtree.geometry import Rect
+from repro.shard.partition import ShardInfo, ShardMap
+from repro.shard.router import (
+    OFFLOAD_ERROR,
+    OK,
+    SKIPPED,
+    TIMEOUT,
+    PartialResult,
+    RouterStats,
+    ScatterGatherRouter,
+    merge_search_replies,
+)
+from repro.sim.kernel import Simulator
+
+INF = float("inf")
+
+
+class StubSession:
+    """A shard session stub: fixed reply (or failure) after a delay."""
+
+    def __init__(self, sim, reply=None, fail=None, delay=1e-6):
+        self.sim = sim
+        self.reply = reply
+        self.fail = fail
+        self.delay = delay
+        self.calls = 0
+
+    def execute(self, request):
+        self.calls += 1
+        yield self.sim.timeout(self.delay)
+        if self.fail is not None:
+            raise self.fail
+        if callable(self.reply):
+            return self.reply(request)
+        return self.reply
+
+
+def two_shard_map():
+    """Two shards split at x=0.5, both populated around their tile."""
+    left = ShardInfo(0, Rect(-INF, -INF, 0.5, INF),
+                     Rect(0.0, 0.0, 0.45, 1.0), 10)
+    right = ShardInfo(1, Rect(0.5, -INF, INF, INF),
+                      Rect(0.55, 0.0, 1.0, 1.0), 10)
+    return ShardMap([left, right])
+
+
+def drive(sim, gen):
+    box = {}
+
+    def runner():
+        box["result"] = yield from gen
+
+    sim.process(runner(), name="test-driver")
+    sim.run()
+    return box["result"]
+
+
+def make_router(sim, sessions, shard_map=None, **kwargs):
+    return ScatterGatherRouter(
+        sim, shard_map or two_shard_map(), sessions,
+        stats=ClientStats(), router_stats=RouterStats(), **kwargs,
+    )
+
+
+def matches(*ids):
+    return [(Rect(0.1 * d, 0.1 * d, 0.1 * d, 0.1 * d), d) for d in ids]
+
+
+class TestMergeSearchReplies:
+    def test_disjoint_replies_concatenate(self):
+        merged, dups = merge_search_replies([
+            (0, matches(1, 2)), (1, matches(3)),
+        ])
+        assert [d for _r, d in merged] == [1, 2, 3]
+        assert dups == 0
+
+    def test_duplicate_ids_dropped_exactly_once(self):
+        merged, dups = merge_search_replies([
+            (0, matches(1, 2)), (1, matches(2, 3)), (0, matches(1)),
+        ])
+        assert [d for _r, d in merged] == [1, 2, 3]
+        assert dups == 2
+
+
+class TestScatter:
+    def test_prunes_shards_whose_mbr_misses(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=matches(1)),
+                    StubSession(sim, reply=matches(2))]
+        router = make_router(sim, sessions)
+        # Query entirely inside shard 0's MBR, away from shard 1's.
+        request = Request(op=OP_SEARCH, rect=Rect(0.1, 0.1, 0.2, 0.2))
+        result = drive(sim, router.execute(request))
+        assert sessions[0].calls == 1
+        assert sessions[1].calls == 0
+        assert result.statuses == {0: OK}
+        assert result.complete
+        assert int(router.router_stats.shards_pruned) == 1
+
+    def test_query_missing_every_mbr_returns_empty(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=matches(1)),
+                    StubSession(sim, reply=matches(2))]
+        router = make_router(sim, sessions)
+        request = Request(op=OP_SEARCH, rect=Rect(5.0, 5.0, 6.0, 6.0))
+        result = drive(sim, router.execute(request))
+        assert result.results == []
+        assert result.statuses == {}
+        assert result.complete
+        assert sessions[0].calls == sessions[1].calls == 0
+
+    def test_nearest_scatters_to_all_nonempty_shards(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=matches(1)),
+                    StubSession(sim, reply=matches(2))]
+        router = make_router(sim, sessions)
+        request = Request(op=OP_NEAREST, rect=Rect(0.1, 0.1, 0.1, 0.1), k=2)
+        result = drive(sim, router.execute(request))
+        assert sessions[0].calls == sessions[1].calls == 1
+        assert result.complete
+        # Sorted by distance to (0.1, 0.1): id 1 at 0.1, id 2 at 0.2.
+        assert [d for _r, d in result.results] == [1, 2]
+
+
+class TestPartialFailure:
+    def test_timeout_yields_degraded_result(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=matches(1)),
+                    StubSession(sim, fail=RequestTimeoutError("s1"))]
+        router = make_router(sim, sessions)
+        request = Request(op=OP_SEARCH, rect=Rect(0.2, 0.2, 0.8, 0.8))
+        result = drive(sim, router.execute(request))
+        assert result.statuses == {0: OK, 1: TIMEOUT}
+        assert not result.complete
+        assert result.failed_shards == [1]
+        assert [d for _r, d in result.results] == [1]
+        assert int(router.router_stats.shard_timeouts) == 1
+        assert int(router.router_stats.partial_results) == 1
+
+    def test_offload_error_yields_degraded_result(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, fail=OffloadError("torn")),
+                    StubSession(sim, reply=matches(2))]
+        router = make_router(sim, sessions)
+        request = Request(op=OP_SEARCH, rect=Rect(0.2, 0.2, 0.8, 0.8))
+        result = drive(sim, router.execute(request))
+        assert result.statuses == {0: OFFLOAD_ERROR, 1: OK}
+        assert int(router.router_stats.shard_offload_errors) == 1
+
+    def test_count_degrades_to_surviving_sum(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=7),
+                    StubSession(sim, fail=RequestTimeoutError("s1"))]
+        router = make_router(sim, sessions)
+        request = Request(op=OP_COUNT, rect=Rect(0.2, 0.2, 0.8, 0.8))
+        result = drive(sim, router.execute(request))
+        assert result.results == 7
+        assert not result.complete
+
+    def test_breaker_skips_failing_shard(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=matches(1)),
+                    StubSession(sim, fail=RequestTimeoutError("s1"))]
+        params = BreakerParams(failure_threshold=1, cooldown_s=1.0,
+                               cooldown_factor=2.0, max_cooldown_s=2.0)
+        router = make_router(sim, sessions, breaker_params=params)
+        request = Request(op=OP_SEARCH, rect=Rect(0.2, 0.2, 0.8, 0.8))
+        first = drive(sim, router.execute(request))
+        assert first.statuses[1] == TIMEOUT
+        second = drive(sim, router.execute(request))
+        assert second.statuses[1] == SKIPPED
+        # The skipped shard was not even attempted the second time.
+        assert sessions[1].calls == 1
+        assert int(router.router_stats.shard_skips) == 1
+
+
+class TestMergeSemantics:
+    def test_duplicate_shard_replies_merge_exactly_once(self):
+        sim = Simulator()
+        # Both shards (incorrectly) report data id 2 — e.g. a reply
+        # duplicated by a retransmission.  The merge must drop it.
+        sessions = [StubSession(sim, reply=matches(1, 2)),
+                    StubSession(sim, reply=matches(2, 3))]
+        router = make_router(sim, sessions)
+        request = Request(op=OP_SEARCH, rect=Rect(0.2, 0.2, 0.8, 0.8))
+        result = drive(sim, router.execute(request))
+        assert sorted(d for _r, d in result.results) == [1, 2, 3]
+        assert result.duplicates_dropped == 1
+        assert int(router.router_stats.duplicates_merged) == 1
+
+    def test_count_sums_disjoint_shards(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=3), StubSession(sim, reply=4)]
+        router = make_router(sim, sessions)
+        request = Request(op=OP_COUNT, rect=Rect(0.2, 0.2, 0.8, 0.8))
+        result = drive(sim, router.execute(request))
+        assert result.results == 7
+
+    def test_nearest_truncates_to_k(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=matches(1, 3)),
+                    StubSession(sim, reply=matches(2, 4))]
+        router = make_router(sim, sessions)
+        request = Request(op=OP_NEAREST, rect=Rect(0.0, 0.0, 0.0, 0.0), k=3)
+        result = drive(sim, router.execute(request))
+        assert [d for _r, d in result.results] == [1, 2, 3]
+
+
+class TestWrites:
+    def test_insert_routes_to_owner_and_grows_map(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=True),
+                    StubSession(sim, reply=True)]
+        shard_map = two_shard_map()
+        router = make_router(sim, sessions, shard_map=shard_map)
+        # Center x=0.3 < 0.5: shard 0 owns it; rect overhangs its MBR.
+        rect = Rect(0.25, 1.5, 0.35, 1.6)
+        request = Request(op=OP_INSERT, rect=rect, data_id=99)
+        result = drive(sim, router.execute(request))
+        assert result.statuses == {0: OK}
+        assert sessions[1].calls == 0
+        assert shard_map[0].count == 11
+        # Reads for the overhang region now scatter to shard 0.
+        assert 0 in shard_map.shards_for(Rect(0.3, 1.5, 0.3, 1.5))
+
+    def test_failed_insert_does_not_grow_map(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, fail=RequestTimeoutError("s0")),
+                    StubSession(sim, reply=True)]
+        shard_map = two_shard_map()
+        router = make_router(sim, sessions, shard_map=shard_map)
+        request = Request(op=OP_INSERT, rect=Rect(0.2, 0.2, 0.3, 0.3),
+                          data_id=99)
+        result = drive(sim, router.execute(request))
+        assert result.statuses == {0: TIMEOUT}
+        assert not result.complete
+        assert shard_map[0].count == 10
+
+
+class TestRecording:
+    def test_log_records_every_request(self):
+        sim = Simulator()
+        sessions = [StubSession(sim, reply=matches(1)),
+                    StubSession(sim, reply=matches(2))]
+        router = make_router(sim, sessions, record=True)
+        for _ in range(3):
+            request = Request(op=OP_SEARCH, rect=Rect(0.2, 0.2, 0.8, 0.8))
+            drive(sim, router.execute(request))
+        assert len(router.log) == 3
+        indices = [index for index, _req, _res, _t in router.log]
+        assert indices == [0, 1, 2]
+        assert all(isinstance(res, PartialResult)
+                   for _i, _req, res, _t in router.log)
+
+    def test_session_count_must_match_map(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            make_router(sim, [StubSession(sim)])
