@@ -243,7 +243,7 @@ def cmd_shard(args) -> int:
               f"not {args.fabric!r}", file=sys.stderr)
         return 2
     verify = args.workload in _READ_ONLY_WORKLOADS and not args.no_verify
-    config = _config_from(args, "catfish-sharded")
+    config = _config_from(args, args.scheme)
     runner = ShardedExperimentRunner(config, record_results=verify)
     result = runner.run()
     print(RunResult.header())
@@ -370,6 +370,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the sharded catfish cluster and verify the router's "
              "merged results against a single-server oracle",
     )
+    p_shard.add_argument("--scheme", default="catfish-sharded",
+                         choices=("catfish-sharded", "catfish-bandit"),
+                         help="client scheme to run per shard: the "
+                              "adaptive Algorithm 1 default or the "
+                              "ε-greedy latency bandit")
     p_shard.add_argument("--shards", type=int, default=4,
                          help="number of shard servers (default 4)")
     p_shard.add_argument("--no-verify", action="store_true",

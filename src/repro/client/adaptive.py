@@ -1,64 +1,52 @@
 """The Catfish adaptive client — Algorithm 1 of the paper.
 
-Each client autonomously decides, per search, between fast messaging and
-RDMA offloading using a binary-exponential-back-off-style rule:
-
-* the server's heartbeat (CPU utilization) lands in the client's
-  ``u_serv`` mailbox at most every ``Inv``;
-* when the predicted utilization exceeds threshold ``T`` (95%), the
-  client offloads its next ``n`` searches, ``n`` drawn uniformly from the
-  current back-off window ``[(r_busy-1)*N, r_busy*N)`` — randomization
-  de-synchronizes the clients so they do not all stampede back to the
-  server at once;
-* consecutive busy observations extend the window without upper bound;
-* **a missing heartbeat means "do not offload"**: the likely cause is a
-  saturated server link, and offloading consumes *more* bandwidth.  The
-  client tells "missing" apart from "fresh heartbeat reporting 0.0
-  utilization" by the mailbox sequence number, not by the value — a
-  server that is genuinely idle still counts as a (non-busy)
-  observation;
-* writes (insert/delete) always use fast messaging.
+The decision rule itself lives in
+:class:`~repro.runtime.policy.Algorithm1Policy` (see its docstring for
+the back-off algorithm) and the execution skeleton in
+:class:`~repro.runtime.session.PolicySession`; this module keeps the
+historical :class:`CatfishSession` facade — same constructor, same
+attribute surface (``r_busy``/``r_off``/counters are forwarded to the
+policy), same trace component — so tests, subclasses (B+tree, cuckoo)
+and dashboards are unaffected by the runtime-layer refactor.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Generator, Optional
+from typing import Callable, Optional
 
-from ..obs.registry import Counter, MetricsRegistry
-from ..obs.trace import NULL_TRACER
+from ..obs.registry import MetricsRegistry
+from ..runtime.policy import AdaptiveParams, Algorithm1Policy
+from ..runtime.session import PolicySession
 from ..sim.kernel import Simulator
-from .base import ClientStats, Request
+from .base import ClientStats
 from .fm_client import FmSession
-from .offload_client import OffloadEngine, OffloadError
+from .offload_client import OffloadEngine
+from .predictors import most_recent
 from .resilience import CircuitBreaker
 
+#: The paper's default ``predUtil`` — kept as a public alias of the
+#: canonical :func:`repro.client.predictors.most_recent`.
+most_recent_utilization = most_recent
 
-def most_recent_utilization(u_serv: float) -> float:
-    """The paper's default ``predUtil``: use the latest value as-is."""
-    return u_serv
+__all__ = ["AdaptiveParams", "CatfishSession", "most_recent_utilization"]
 
-
-@dataclass(frozen=True)
-class AdaptiveParams:
-    """The tunables of Algorithm 1 (paper defaults: N=8, T=95%, Inv=10ms)."""
-
-    N: int = 8
-    T: float = 0.95
-    Inv: float = 10e-3
-
-    def __post_init__(self):
-        if self.N < 1:
-            raise ValueError(f"N must be >= 1, got {self.N}")
-        if not 0.0 < self.T <= 1.0:
-            raise ValueError(f"T must be in (0, 1], got {self.T}")
-        if self.Inv <= 0:
-            raise ValueError(f"Inv must be > 0, got {self.Inv}")
+#: Attributes forwarded to the wrapped :class:`Algorithm1Policy`: the
+#: Algorithm 1 state, its tunables and the introspection counters.
+_POLICY_ATTRS = frozenset({
+    "params", "rng", "pred_util", "stale_after_missing",
+    "r_busy", "r_off", "_t0", "_last_seq", "_missing_streak",
+    "busy_observations", "backoff_extensions",
+    "heartbeats_consumed", "heartbeats_missing",
+    "decisions_offload", "decisions_fm",
+    "stale_resets", "offload_failovers",
+})
 
 
-class CatfishSession:
+class CatfishSession(PolicySession):
     """Adaptive per-request scheme selection (Algorithm 1)."""
+
+    trace_component = "adaptive"
 
     def __init__(
         self,
@@ -73,181 +61,38 @@ class CatfishSession:
         breaker: Optional[CircuitBreaker] = None,
         stale_after_missing: Optional[int] = None,
     ):
-        self.sim = sim
-        self.fm = fm
-        self.engine = engine
-        self.stats = stats
-        self.params = params
-        self.rng = rng or random.Random(0)
-        self.pred_util = pred_util
-        self.tracer = tracer if tracer is not None else NULL_TRACER
-        #: Optional offload circuit breaker: when set, an OffloadError is
-        #: recorded and the request falls over to fast messaging instead
-        #: of propagating; a tripped breaker short-circuits offloading
-        #: until a recovery probe succeeds.  When None, errors propagate
-        #: (the seed behaviour).
-        self.breaker = breaker
-        #: When set, this many consecutive missing-heartbeat observations
-        #: mark the utilization picture "stale": any remaining offload
-        #: budget (granted under now-unverifiable information) is
-        #: cancelled until a fresh heartbeat arrives.
-        self.stale_after_missing = stale_after_missing
-        # Algorithm 1 state.
-        self.r_busy = 0
-        self.r_off = 0
-        self._t0 = sim.now
-        self._last_seq = -1
-        self._missing_streak = 0
-        # Introspection counters.
-        self.busy_observations = Counter("adaptive.busy_observations")
-        self.backoff_extensions = Counter("adaptive.backoff_extensions")
-        self.heartbeats_consumed = Counter("adaptive.heartbeats_consumed")
-        self.heartbeats_missing = Counter("adaptive.heartbeats_missing")
-        self.decisions_offload = Counter("adaptive.decisions_offload")
-        self.decisions_fm = Counter("adaptive.decisions_fm")
-        self.stale_resets = Counter("adaptive.stale_resets")
-        self.offload_failovers = Counter("adaptive.offload_failovers")
+        policy = Algorithm1Policy(
+            sim,
+            # A callable so a session whose fast-messaging endpoint is
+            # swapped (failover tests) never strands the policy on a
+            # stale mailbox.
+            lambda: self.fm.mailbox,
+            params=params,
+            rng=rng,
+            pred_util=pred_util,
+            stale_after_missing=stale_after_missing,
+        )
+        super().__init__(sim, fm, engine, stats, policy,
+                         tracer=tracer, breaker=breaker)
+
+    # Forward the Algorithm 1 state so pre-refactor call sites (tests
+    # seed ``rng``/``_t0``, metrics read the counters) keep working.
+
+    def __getattr__(self, name):
+        policy = self.__dict__.get("policy")
+        if policy is not None and name in _POLICY_ATTRS:
+            return getattr(policy, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __setattr__(self, name, value):
+        if name in _POLICY_ATTRS and "policy" in self.__dict__:
+            setattr(self.policy, name, value)
+        else:
+            object.__setattr__(self, name, value)
 
     def register_metrics(self, registry: MetricsRegistry,
                          prefix: str = "adaptive") -> None:
         """Adopt the Algorithm 1 counters into ``registry``."""
-        registry.adopt(f"{prefix}.busy_observations",
-                       self.busy_observations)
-        registry.adopt(f"{prefix}.backoff_extensions",
-                       self.backoff_extensions)
-        registry.adopt(f"{prefix}.heartbeats_consumed",
-                       self.heartbeats_consumed)
-        registry.adopt(f"{prefix}.heartbeats_missing",
-                       self.heartbeats_missing)
-        registry.adopt(f"{prefix}.decisions_offload", self.decisions_offload)
-        registry.adopt(f"{prefix}.decisions_fm", self.decisions_fm)
-        registry.adopt(f"{prefix}.stale_resets", self.stale_resets)
-        registry.adopt(f"{prefix}.offload_failovers", self.offload_failovers)
-        registry.expose(f"{prefix}.r_busy", lambda: self.r_busy)
-        registry.expose(f"{prefix}.r_off", lambda: self.r_off)
-        if self.breaker is not None:
-            self.breaker.register_metrics(registry, prefix=f"{prefix}.breaker")
-
-    # -- Algorithm 1 -----------------------------------------------------------
-
-    def _decide(self) -> bool:
-        """One pass of lines 5-23; True means offload this search."""
-        params = self.params
-        utilization = 0.0
-        now = self.sim.now
-        mailbox = self.fm.mailbox
-        # Lines 7-11: consume a heartbeat if at least Inv elapsed and one
-        # actually arrived.  Freshness is the mailbox *sequence number*
-        # advancing, never the value being nonzero: a fresh heartbeat
-        # reporting exactly 0.0 utilization is a real (non-busy)
-        # observation, while an unchanged seq means "missing heartbeat",
-        # which deliberately reads as "do not offload".
-        if now - self._t0 > params.Inv:
-            fresh = mailbox.consume_fresh(self._last_seq)
-            if fresh is not None:
-                self._last_seq, raw = fresh
-                utilization = self.pred_util(raw)
-                self._t0 = now
-                self.heartbeats_consumed += 1
-                self._missing_streak = 0
-            else:
-                self.heartbeats_missing += 1
-                self._missing_streak += 1
-                stale = self.stale_after_missing
-                if (stale is not None and self._missing_streak >= stale
-                        and (self.r_off or self.r_busy)):
-                    # The heartbeat has been silent for `stale` whole
-                    # intervals (blackout / saturated link / dropped
-                    # beats): the busy picture the current back-off
-                    # window was granted under is no longer verifiable.
-                    # Cancel the remaining offload budget — "missing
-                    # means do not offload" now also applies to budget
-                    # granted *before* the silence began.
-                    self.r_off = 0
-                    self.r_busy = 0
-                    self.stale_resets += 1
-        # Lines 12-17: extend or reset the back-off window.
-        if utilization > params.T and self.r_off <= self.r_busy * params.N:
-            self.r_busy += 1
-            self.r_off = (
-                self.rng.randrange(params.N)
-                + (self.r_busy - 1) * params.N
-            )
-            self.busy_observations += 1
-            if self.r_busy > 1:
-                self.backoff_extensions += 1
-        else:
-            self.r_busy = 0
-        # Lines 18-23: drain the offload budget.
-        if self.r_off > 0:
-            self.r_off -= 1
-            return True
-        return False
-
-    # -- request execution ----------------------------------------------------------
-
-    def _is_offloadable(self, request) -> bool:
-        """Only reads may bypass the server (writes need its locks)."""
-        from .base import READ_OPS
-        return request.op in READ_OPS
-
-    def _offload(self, request) -> Generator:
-        """Execute one offloadable request via one-sided reads.
-
-        Subclasses for other link-based structures (B+tree, cuckoo —
-        paper §VI) override this and ``_is_offloadable``; the back-off
-        algorithm itself is structure-agnostic.
-        """
-        from .offload_client import dispatch_read
-        result = yield from dispatch_read(self.engine, request, self.fm)
-        return result
-
-    def execute(self, request: Request) -> Generator:
-        """Run one request, choosing the access method adaptively."""
-        span = self.tracer.span("adaptive", request.op)
-        if not self._is_offloadable(request):
-            # Writes always go to the server through the ring buffer.
-            span.annotate("decide", path="fast-messaging", reason="write")
-            result = yield from self.fm.execute(request)
-            span.end(path="fast-messaging")
-            return result
-        if self._decide():
-            breaker = self.breaker
-            if breaker is not None and not breaker.allow():
-                # Offload path tripped: route through the server until a
-                # recovery probe succeeds.
-                self.decisions_fm += 1
-                span.annotate("decide", path="fast-messaging",
-                              reason="breaker-open")
-                result = yield from self.fm.execute(request)
-                span.end(path="fast-messaging")
-                return result
-            self.decisions_offload += 1
-            span.annotate("decide", path="offload", r_busy=self.r_busy,
-                          r_off=self.r_off)
-            if breaker is None:
-                # Seed behaviour: offload failures propagate.
-                result = yield from self._offload(request)
-                span.end(path="offload")
-                return result
-            try:
-                result = yield from self._offload(request)
-            except OffloadError:
-                # Torn-read/restart storm: record it and fail over — the
-                # server-side path serves the same request under locks.
-                breaker.record_failure()
-                self.offload_failovers += 1
-                span.annotate("failover", reason="offload-error",
-                              breaker=breaker.state)
-                result = yield from self.fm.execute(request)
-                span.end(path="fm-failover")
-                return result
-            breaker.record_success()
-            span.end(path="offload")
-        else:
-            self.decisions_fm += 1
-            span.annotate("decide", path="fast-messaging",
-                          r_busy=self.r_busy)
-            result = yield from self.fm.execute(request)
-            span.end(path="fast-messaging")
-        return result
+        super().register_metrics(registry, prefix=prefix)

@@ -5,44 +5,48 @@ bouncing clients back to fast messaging; the paper points at runtime
 learning ("a recent study which uses machine learning methods to select
 the best configuration at the runtime") as the fix.
 
-:class:`BanditSession` is the minimal such learner: an ε-greedy two-armed
-bandit over {fast messaging, RDMA offloading} driven purely by *observed
-per-mode request latency* with exponential forgetting.  It needs no
-heartbeats at all — the reward signal is the client's own latencies — and
-under sustained server saturation it parks on offloading instead of
-probing back, exactly the behaviour the paper found Algorithm 1 lacking.
+The ε-greedy learner itself lives in
+:class:`~repro.runtime.policy.BanditPolicy`; this module keeps the
+historical :class:`BanditSession` facade on top of the generic
+:class:`~repro.runtime.session.PolicySession` — which is how the bandit
+gained tracer, metrics and circuit-breaker support for free, on the
+sharded runner too (it previously lacked all three).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Generator, Optional
+from typing import Optional
 
+from ..runtime.policy import (
+    FAST_MESSAGING,
+    OFFLOADING,
+    BanditPolicy,
+    LatencyEstimate,
+)
+from ..runtime.session import PolicySession
 from ..sim.kernel import Simulator
-from .base import ClientStats, Request
+from .base import ClientStats
 
-FAST_MESSAGING = "fm"
-OFFLOADING = "offload"
+__all__ = [
+    "FAST_MESSAGING",
+    "OFFLOADING",
+    "BanditSession",
+    "LatencyEstimate",
+]
 
-
-class LatencyEstimate:
-    """EWMA of one arm's latency, optimistic until first observed."""
-
-    def __init__(self, alpha: float):
-        self.alpha = alpha
-        self.value: Optional[float] = None
-        self.observations = 0
-
-    def update(self, sample: float) -> None:
-        self.observations += 1
-        if self.value is None:
-            self.value = sample
-        else:
-            self.value = self.alpha * sample + (1 - self.alpha) * self.value
+#: Attributes forwarded to the wrapped :class:`BanditPolicy`: the arm
+#: state and the introspection counters.
+_POLICY_ATTRS = frozenset({
+    "epsilon", "rng", "estimates", "explorations", "mode_counts",
+    "offload_failovers", "breaker_demotions",
+})
 
 
-class BanditSession:
+class BanditSession(PolicySession):
     """ε-greedy latency bandit over the two access methods."""
+
+    trace_component = "bandit"
 
     def __init__(
         self,
@@ -53,61 +57,31 @@ class BanditSession:
         epsilon: float = 0.1,
         alpha: float = 0.3,
         rng: Optional[random.Random] = None,
+        tracer=None,
+        breaker=None,
     ):
-        if not 0.0 <= epsilon <= 1.0:
-            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
-        if not 0.0 < alpha <= 1.0:
-            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
-        self.sim = sim
-        self.fm = fm
-        self.engine = engine
-        self.stats = stats
-        self.epsilon = epsilon
-        self.rng = rng or random.Random(0)
-        self.estimates = {
-            FAST_MESSAGING: LatencyEstimate(alpha),
-            OFFLOADING: LatencyEstimate(alpha),
-        }
-        self.explorations = 0
-        self.mode_counts = {FAST_MESSAGING: 0, OFFLOADING: 0}
-
-    # -- arm selection ----------------------------------------------------------
+        policy = BanditPolicy(epsilon=epsilon, alpha=alpha, rng=rng)
+        super().__init__(sim, fm, engine, stats, policy,
+                         tracer=tracer, breaker=breaker)
 
     def _choose_mode(self) -> str:
-        fm_est = self.estimates[FAST_MESSAGING]
-        off_est = self.estimates[OFFLOADING]
-        # Try each arm once before exploiting.
-        if fm_est.value is None:
-            return FAST_MESSAGING
-        if off_est.value is None:
-            return OFFLOADING
-        if self.rng.random() < self.epsilon:
-            self.explorations += 1
-            return self.rng.choice((FAST_MESSAGING, OFFLOADING))
-        return (FAST_MESSAGING if fm_est.value <= off_est.value
-                else OFFLOADING)
+        """Expose arm selection for composers (cf. KvBanditSession)."""
+        return self.policy._choose_mode()
 
-    def _is_offloadable(self, request) -> bool:
-        from .base import READ_OPS
-        return request.op in READ_OPS
+    # Forward the learner state so pre-refactor call sites (tests read
+    # ``estimates``/``mode_counts``, composers drive ``_choose_mode``)
+    # keep working.
 
-    def _offload(self, request) -> Generator:
-        from .offload_client import dispatch_read
-        result = yield from dispatch_read(self.engine, request, self.fm)
-        return result
+    def __getattr__(self, name):
+        policy = self.__dict__.get("policy")
+        if policy is not None and name in _POLICY_ATTRS:
+            return getattr(policy, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
-    # -- execution -----------------------------------------------------------------
-
-    def execute(self, request: Request) -> Generator:
-        if not self._is_offloadable(request):
-            result = yield from self.fm.execute(request)
-            return result
-        mode = self._choose_mode()
-        self.mode_counts[mode] += 1
-        start = self.sim.now
-        if mode == OFFLOADING:
-            result = yield from self._offload(request)
+    def __setattr__(self, name, value):
+        if name in _POLICY_ATTRS and "policy" in self.__dict__:
+            setattr(self.policy, name, value)
         else:
-            result = yield from self.fm.execute(request)
-        self.estimates[mode].update(self.sim.now - start)
-        return result
+            object.__setattr__(self, name, value)

@@ -14,16 +14,10 @@ from typing import Generator, List
 from ..client.adaptive import CatfishSession
 from ..client.bandit import BanditSession
 from ..client.base import OP_SEARCH, ClientStats, Request
-from ..client.fm_client import FmSession
-from ..client.offload_client import OffloadEngine, OffloadSession
-from ..client.predictors import make_predictor
-from ..client.resilience import CircuitBreaker
-from ..client.tcp_client import TcpSession
 from ..client.base import CLIENT_COUNTER_FIELDS
 from ..faults.injector import FaultInjector
-from ..hw.cpu import SchedulerModel
 from ..hw.host import Host
-from ..net.fabric import Network, profile_by_name
+from ..net.fabric import profile_by_name
 from ..obs import (
     NULL_TRACER,
     LatencyView,
@@ -31,23 +25,15 @@ from ..obs import (
     Tracer,
     snapshot_document,
 )
-from ..server.base import RTreeServer
-from ..server.fast_messaging import FastMessagingServer
-from ..server.heartbeat import HeartbeatService
-from ..server.tcp_server import TcpRTreeServer
+from ..runtime.factory import SessionFactory
+from ..runtime.stack import ServerStack
 from ..sim.kernel import Simulator, all_of
 from ..sim.rng import RngRegistry
-from ..transport.tcp import TcpConnection
 from ..workloads.datasets import uniform_dataset
 from ..workloads.mixes import make_workload
 from .config import ExperimentConfig
 from .results import RunResult, merge_client_stats
-from .schemes import (
-    OFFLOAD_ADAPTIVE,
-    OFFLOAD_ALWAYS,
-    TRANSPORT_TCP,
-    scheme_spec,
-)
+from .schemes import TRANSPORT_TCP, scheme_spec
 
 
 def _client_driver(
@@ -71,6 +57,60 @@ def _client_driver(
         stats.latency.record(elapsed)
         if request.op == OP_SEARCH:
             stats.search_latency.record(elapsed)
+
+
+#: Algorithm 1 introspection counters aggregated cluster-wide.
+ADAPTIVE_AGGREGATE_FIELDS = (
+    "busy_observations", "backoff_extensions",
+    "heartbeats_consumed", "heartbeats_missing",
+    "decisions_offload", "decisions_fm",
+    "stale_resets", "offload_failovers",
+)
+
+
+def register_session_aggregates(metrics: MetricsRegistry,
+                                sessions) -> None:
+    """Sum per-session client counters into cluster-wide pull gauges.
+
+    Shared by the single-server and sharded runners so every scheme's
+    client-side counters (offload engine, Algorithm 1, bandit) land in
+    the metrics document regardless of deployment shape.
+    """
+    from ..runtime.policy import FAST_MESSAGING, OFFLOADING
+
+    engines = [e for e in (getattr(s, "engine", None) for s in sessions)
+               if e is not None]
+    if engines:
+        for field in ("meta_reads", "stale_root_detections",
+                      "chunks_fetched"):
+            metrics.expose(
+                f"offload.{field}",
+                lambda f=field: sum(int(getattr(e, f)) for e in engines),
+            )
+    adaptive = [s for s in sessions if isinstance(s, CatfishSession)]
+    if adaptive:
+        for field in ADAPTIVE_AGGREGATE_FIELDS:
+            metrics.expose(
+                f"adaptive.{field}",
+                lambda f=field: sum(int(getattr(s, f)) for s in adaptive),
+            )
+    bandits = [s for s in sessions if isinstance(s, BanditSession)]
+    if bandits:
+        for field in ("offload_failovers", "breaker_demotions"):
+            metrics.expose(
+                f"bandit.{field}",
+                lambda f=field: sum(int(getattr(s, f)) for s in bandits),
+            )
+        metrics.expose("bandit.explorations",
+                       lambda: sum(int(s.explorations) for s in bandits))
+        metrics.expose(
+            "bandit.mode_fm",
+            lambda: sum(s.mode_counts[FAST_MESSAGING] for s in bandits),
+        )
+        metrics.expose(
+            "bandit.mode_offload",
+            lambda: sum(s.mode_counts[OFFLOADING] for s in bandits),
+        )
 
 
 class ExperimentRunner:
@@ -101,55 +141,25 @@ class ExperimentRunner:
                 rng=self.rngs.stream("faults"),
             )
 
-        self.network = Network(self.sim, self.profile)
-        self.server_host = Host(
-            self.sim,
-            "server",
-            self.profile,
-            cores=config.server_cores,
-            scheduler=SchedulerModel(
-                config.server_cores, rng=self.rngs.stream("scheduler")
-            ),
-        )
-        self.network.attach_server(self.server_host)
-        if self.injector is not None:
-            self.injector.attach_network(self.network)
-            self.injector.attach_host(self.server_host)
-
         items = config.dataset
         if items is None:
             items = uniform_dataset(config.dataset_size, seed=config.seed)
-        self.server = RTreeServer(
-            self.sim,
-            self.server_host,
-            items,
-            max_entries=config.max_entries,
-            costs=config.costs,
-            byte_mode=config.byte_mode,
+        self.stack = ServerStack(
+            self.sim, self.profile, self.spec, config, self.rngs, items,
         )
+        if self.injector is not None:
+            self.stack.attach_injector(self.injector)
+        # Historical attribute surface (notebooks, tests, _collect).
+        self.network = self.stack.network
+        self.server_host = self.stack.host
+        self.server = self.stack.server
+        self.tcp_server = self.stack.tcp_server
+        self.fm_server = self.stack.fm_server
+        self.heartbeats = self.stack.heartbeats
 
-        self.tcp_server = None
-        self.fm_server = None
-        self.heartbeats = None
-        if self.spec.transport == TRANSPORT_TCP:
-            self.tcp_server = TcpRTreeServer(self.sim, self.server)
-        else:
-            self.fm_server = FastMessagingServer(
-                self.sim,
-                self.server,
-                self.network,
-                mode=self.spec.notification,
-                max_queue_depth=config.max_queue_depth,
-            )
-            if self.spec.heartbeats:
-                self.heartbeats = HeartbeatService(
-                    self.sim,
-                    self.server_host.cpu.window_utilization,
-                    interval=config.heartbeat_interval,
-                )
-                if self.injector is not None:
-                    self.injector.attach_heartbeats(self.heartbeats)
-
+        self.factory = SessionFactory(
+            self.sim, self.spec, config, self.tracer,
+        )
         self.client_stats: List[ClientStats] = []
         self.sessions = []
         self._drivers = []
@@ -177,19 +187,9 @@ class ExperimentRunner:
         pull gauges summed over all clients.
         """
         m = self.metrics
-        if self.fm_server is not None:
-            self.fm_server.register_metrics(m)
-        if self.heartbeats is not None:
-            self.heartbeats.register_metrics(m)
+        self.stack.register_metrics(m)
         if self.injector is not None:
             self.injector.register_metrics(m)
-        m.expose("server.searches_served",
-                 lambda: int(self.server.searches_served))
-        m.expose("server.inserts_served",
-                 lambda: int(self.server.inserts_served))
-        m.expose("server.cpu_utilization", self.server_host.cpu.utilization)
-        m.expose("net.server_bandwidth_gbps",
-                 self.network.server_bandwidth_gbps)
 
         stats_list = self.client_stats
         for field in CLIENT_COUNTER_FIELDS:
@@ -197,26 +197,7 @@ class ExperimentRunner:
                 f"client.{field}",
                 lambda f=field: sum(int(getattr(s, f)) for s in stats_list),
             )
-        engines = [e for e in (getattr(s, "engine", None)
-                               for s in self.sessions) if e is not None]
-        if engines:
-            for field in ("meta_reads", "stale_root_detections",
-                          "chunks_fetched"):
-                m.expose(
-                    f"offload.{field}",
-                    lambda f=field: sum(int(getattr(e, f)) for e in engines),
-                )
-        adaptive = [s for s in self.sessions
-                    if isinstance(s, CatfishSession)]
-        if adaptive:
-            for field in ("busy_observations", "backoff_extensions",
-                          "heartbeats_consumed", "heartbeats_missing",
-                          "decisions_offload", "decisions_fm",
-                          "stale_resets", "offload_failovers"):
-                m.expose(
-                    f"adaptive.{field}",
-                    lambda f=field: sum(int(getattr(s, f)) for s in adaptive),
-                )
+        register_session_aggregates(m, self.sessions)
 
         if self.config.collect_timeline:
             alive = lambda: any(d.is_alive for d in self._drivers)
@@ -273,7 +254,10 @@ class ExperimentRunner:
                 cores=config.client_cores,
             )
             stats = ClientStats()
-            session = self._build_session(client_id, host, stats)
+            session = self.factory.build(
+                client_id, self.stack, host, stats,
+                self.rngs.fork(f"client-{client_id}"),
+            )
             rng = self.rngs.fork(f"client-{client_id}").stream("workload")
             requests = workload_fn(client_id, rng)
             driver = self.sim.process(
@@ -285,64 +269,6 @@ class ExperimentRunner:
             self.client_stats.append(stats)
             self.sessions.append(session)
             self._drivers.append(driver)
-
-    def _build_session(self, client_id: int, host: Host, stats: ClientStats):
-        if self.spec.transport == TRANSPORT_TCP:
-            conn = TcpConnection(
-                self.sim, self.network, host, self.server_host,
-                name=f"tcp-{client_id}",
-            )
-            self.tcp_server.accept(conn)
-            return TcpSession(self.sim, conn, client_id, stats)
-
-        conn = self.fm_server.open_connection(host)
-        fm = FmSession(
-            self.sim, conn, client_id, stats,
-            retry=self.config.retry,
-            rng=self.rngs.fork(f"client-{client_id}").stream("retry"),
-        )
-        if self.heartbeats is not None:
-            self.heartbeats.subscribe(
-                conn.response_ring,
-                lambda hb, c=conn: c.server_post_response(hb),
-            )
-        if self.spec.offload == "never":
-            return fm
-        engine = OffloadEngine(
-            self.sim,
-            conn.client_end,
-            self.server.offload_descriptor(),
-            self.config.costs,
-            stats,
-            multi_issue=self.spec.multi_issue,
-            tracer=self.tracer,
-        )
-        if self.spec.offload == OFFLOAD_ALWAYS:
-            return OffloadSession(engine, fm, stats)
-        if self.spec.offload == OFFLOAD_ADAPTIVE:
-            breaker = (CircuitBreaker(self.sim, self.config.breaker)
-                       if self.config.breaker is not None else None)
-            return CatfishSession(
-                self.sim,
-                fm,
-                engine,
-                stats,
-                params=self.config.adaptive,
-                rng=self.rngs.fork(f"client-{client_id}").stream("backoff"),
-                pred_util=make_predictor(self.spec.predictor),
-                tracer=self.tracer,
-                breaker=breaker,
-                stale_after_missing=self.config.stale_after_missing,
-            )
-        if self.spec.offload == "bandit":
-            return BanditSession(
-                self.sim,
-                fm,
-                engine,
-                stats,
-                rng=self.rngs.fork(f"client-{client_id}").stream("bandit"),
-            )
-        raise ValueError(f"unknown offload mode {self.spec.offload!r}")
 
     # -- execution ---------------------------------------------------------------
 

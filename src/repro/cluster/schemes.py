@@ -18,6 +18,17 @@ OFFLOAD_ALWAYS = "always"
 OFFLOAD_ADAPTIVE = "adaptive"
 OFFLOAD_BANDIT = "bandit"
 
+#: Offload-mode vocabulary → runtime path-policy names
+#: (:data:`repro.runtime.policy.POLICY_NAMES`).  The scheme registry
+#: predates the runtime layer, so the historical mode strings stay the
+#: configuration surface and map onto policies here.
+OFFLOAD_POLICIES = {
+    OFFLOAD_NEVER: "always-fm",
+    OFFLOAD_ALWAYS: "always-offload",
+    OFFLOAD_ADAPTIVE: "algorithm1",
+    OFFLOAD_BANDIT: "bandit",
+}
+
 
 @dataclass(frozen=True)
 class SchemeSpec:
@@ -39,6 +50,17 @@ class SchemeSpec:
     #: scheme through the sharded cluster (``repro.shard``), one full
     #: Catfish stack per shard behind a scatter-gather router.
     shards: int = 1
+
+    @property
+    def policy(self) -> str:
+        """The runtime path-policy this scheme's offload mode maps to."""
+        try:
+            return OFFLOAD_POLICIES[self.offload]
+        except KeyError:
+            raise ValueError(
+                f"unknown offload mode {self.offload!r}; "
+                f"known: {sorted(OFFLOAD_POLICIES)}"
+            ) from None
 
 
 SCHEMES = {

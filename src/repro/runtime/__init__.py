@@ -1,0 +1,63 @@
+"""The unified client/server runtime layer.
+
+One assembly path for every deployment shape (single-server, K-shard):
+
+* :class:`~repro.runtime.stack.ServerStack` — one server's host, star
+  network, R*-tree, transport front-end, heartbeat service;
+* :class:`~repro.runtime.policy.PathPolicy` — the per-request fast
+  messaging vs. offloading choice (Algorithm 1, the ε-greedy bandit and
+  the two fixed baselines);
+* :class:`~repro.runtime.session.PolicySession` — the generic session
+  threading retry, circuit breaker, tracing and metrics around any
+  policy;
+* :class:`~repro.runtime.factory.SessionFactory` — the one place a
+  client session is built.
+
+``ServerStack`` and ``SessionFactory`` are exposed lazily (PEP 562):
+``repro.client`` builds its sessions on top of this package, so the
+eager surface here must not import it back.
+"""
+
+from .policy import (
+    FAST_MESSAGING,
+    OFFLOADING,
+    PATH_FM,
+    PATH_OFFLOAD,
+    POLICY_NAMES,
+    AdaptiveParams,
+    Algorithm1Policy,
+    AlwaysFmPolicy,
+    AlwaysOffloadPolicy,
+    BanditPolicy,
+    LatencyEstimate,
+    PathPolicy,
+)
+from .session import PolicySession
+
+__all__ = [
+    "AdaptiveParams",
+    "Algorithm1Policy",
+    "AlwaysFmPolicy",
+    "AlwaysOffloadPolicy",
+    "BanditPolicy",
+    "FAST_MESSAGING",
+    "LatencyEstimate",
+    "OFFLOADING",
+    "PATH_FM",
+    "PATH_OFFLOAD",
+    "POLICY_NAMES",
+    "PathPolicy",
+    "PolicySession",
+    "ServerStack",
+    "SessionFactory",
+]
+
+
+def __getattr__(name: str):
+    if name == "ServerStack":
+        from .stack import ServerStack
+        return ServerStack
+    if name == "SessionFactory":
+        from .factory import SessionFactory
+        return SessionFactory
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

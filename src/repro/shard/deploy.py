@@ -20,32 +20,19 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional
 
-from ..client.adaptive import CatfishSession
 from ..client.base import CLIENT_COUNTER_FIELDS, ClientStats
-from ..client.fm_client import FmSession
-from ..client.offload_client import OffloadEngine, OffloadSession
-from ..client.predictors import make_predictor
-from ..client.resilience import CircuitBreaker
-from ..cluster.builder import _client_driver
+from ..cluster.builder import _client_driver, register_session_aggregates
 from ..cluster.config import ExperimentConfig
 from ..cluster.results import RunResult, merge_client_stats
-from ..cluster.schemes import (
-    OFFLOAD_ADAPTIVE,
-    OFFLOAD_ALWAYS,
-    OFFLOAD_NEVER,
-    TRANSPORT_TCP,
-    scheme_spec,
-)
+from ..cluster.schemes import TRANSPORT_TCP, scheme_spec
 from ..faults.injector import FaultInjector
 from ..faults.plan import ShardLoss
-from ..hw.cpu import SchedulerModel
 from ..hw.host import Host
-from ..net.fabric import Network, profile_by_name
+from ..net.fabric import profile_by_name
 from ..obs import NULL_TRACER, LatencyView, MetricsRegistry, Tracer, \
     snapshot_document
-from ..server.base import RTreeServer
-from ..server.fast_messaging import FastMessagingServer
-from ..server.heartbeat import HeartbeatService
+from ..runtime.factory import SessionFactory
+from ..runtime.stack import ServerStack
 from ..sim.kernel import Simulator, all_of
 from ..sim.rng import RngRegistry
 from ..workloads.datasets import uniform_dataset
@@ -80,67 +67,6 @@ class _ShardHeartbeatHook:
                 self.injector.beats_blacked_out += 1
                 return True
         return self.injector.heartbeat_suppressed()
-
-
-class _Shard:
-    """One shard's full server stack (host + net + tree + fm + heartbeat)."""
-
-    def __init__(self, runner: "ShardedExperimentRunner", shard_id: int,
-                 items) -> None:
-        config = runner.config
-        sim = runner.sim
-        srngs = runner.rngs.shard(shard_id)
-        self.shard_id = shard_id
-        self.network = Network(sim, runner.profile)
-        self.host = Host(
-            sim,
-            f"shard{shard_id}-server",
-            runner.profile,
-            cores=config.server_cores,
-            scheduler=SchedulerModel(
-                config.server_cores, rng=srngs.stream("scheduler")
-            ),
-        )
-        self.network.attach_server(self.host)
-        self.server = RTreeServer(
-            sim,
-            self.host,
-            list(items),
-            max_entries=config.max_entries,
-            costs=config.costs,
-            byte_mode=config.byte_mode,
-        )
-        self.fm_server = FastMessagingServer(
-            sim,
-            self.server,
-            self.network,
-            mode=runner.spec.notification,
-            max_queue_depth=config.max_queue_depth,
-        )
-        self.heartbeats = None
-        if runner.spec.heartbeats:
-            self.heartbeats = HeartbeatService(
-                sim,
-                self.host.cpu.window_utilization,
-                interval=config.heartbeat_interval,
-            )
-
-    def register_metrics(self, metrics: MetricsRegistry) -> None:
-        """Per-shard labels: everything lands under ``shard<k>.*``."""
-        label = f"shard{self.shard_id}"
-        self.fm_server.register_metrics(metrics, prefix=f"{label}.server")
-        if self.heartbeats is not None:
-            self.heartbeats.register_metrics(
-                metrics, prefix=f"{label}.heartbeat"
-            )
-        metrics.expose(f"{label}.server.searches_served",
-                       lambda: int(self.server.searches_served))
-        metrics.expose(f"{label}.server.inserts_served",
-                       lambda: int(self.server.inserts_served))
-        metrics.expose(f"{label}.server.cpu_utilization",
-                       self.host.cpu.utilization)
-        metrics.expose(f"{label}.net.server_bandwidth_gbps",
-                       self.network.server_bandwidth_gbps)
 
 
 class ShardedExperimentRunner:
@@ -189,21 +115,31 @@ class ShardedExperimentRunner:
                 rng=self.rngs.stream("faults"),
             )
 
-        self.shards: List[_Shard] = [
-            _Shard(self, shard_id, slice_items)
+        #: One full Catfish stack per shard — the same
+        #: :class:`~repro.runtime.stack.ServerStack` the single-server
+        #: runner builds, instantiated K times on one simulator.  All
+        #: shard-side randomness comes from ``rngs.shard(k)``.
+        self.shards: List[ServerStack] = [
+            ServerStack(
+                self.sim, self.profile, self.spec, config,
+                self.rngs.shard(shard_id), list(slice_items),
+                name=f"shard{shard_id}-server",
+            )
             for shard_id, slice_items in enumerate(self.partition.assignments)
         ]
         if self.injector is not None:
             loss_windows = config.fault_plan.of_type(ShardLoss)
-            for shard in self.shards:
-                self.injector.attach_network(shard.network)
-                self.injector.attach_host(shard.host)
-                if shard.heartbeats is not None:
-                    shard.heartbeats.fault_injector = _ShardHeartbeatHook(
-                        self.sim, shard.shard_id, loss_windows,
-                        self.injector,
-                    )
+            for shard_id, shard in enumerate(self.shards):
+                shard.attach_injector(
+                    self.injector,
+                    heartbeat_hook=_ShardHeartbeatHook(
+                        self.sim, shard_id, loss_windows, self.injector,
+                    ),
+                )
 
+        self.factory = SessionFactory(
+            self.sim, self.spec, config, self.tracer,
+        )
         self.client_stats: List[ClientStats] = []
         self.router_stats: List[RouterStats] = []
         self.routers: List[ScatterGatherRouter] = []
@@ -220,8 +156,7 @@ class ShardedExperimentRunner:
                 shard_fm_servers=[s.fm_server for s in self.shards],
             )
         for shard in self.shards:
-            if shard.heartbeats is not None:
-                shard.heartbeats.start()
+            shard.start_heartbeats()
         self._register_metrics()
 
     # -- construction ------------------------------------------------------
@@ -243,22 +178,27 @@ class ShardedExperimentRunner:
                 cores=config.client_cores,
             )
             stats = ClientStats()
-            shard_sessions = [
-                self._build_shard_session(client_id, shard, host, stats)
-                for shard in self.shards
-            ]
             router_stats = RouterStats()
-            router = ScatterGatherRouter(
-                self.sim,
+            # Per-shard sessions come from the shared SessionFactory —
+            # the same assembly path as the single-server runner.  The
+            # client-side RNGs are shard-derived (``(seed, shard_id)``
+            # then per-client forks), so adding shards never perturbs
+            # the retry/back-off draws against existing shards.
+            router = ScatterGatherRouter.from_factory(
+                self.factory,
+                client_id,
+                self.shards,
+                host,
+                stats,
+                lambda k, i=client_id: self.rngs.shard(k).fork(f"client-{i}"),
                 # Each client gets its own map copy: note_insert is
                 # client-local routing state, like a real client cache.
                 ShardMap(list(self.partition.shard_map)),
-                shard_sessions,
-                stats,
                 router_stats=router_stats,
                 breaker_params=config.breaker,
                 record=self._record_results,
             )
+            shard_sessions = router.sessions
             # Workload stream identical to the single-server runner: the
             # oracle comparison depends on this line not diverging.
             rng = self.rngs.fork(f"client-{client_id}").stream("workload")
@@ -275,64 +215,11 @@ class ShardedExperimentRunner:
             self.sessions.append(shard_sessions)
             self._drivers.append(driver)
 
-    def _build_shard_session(self, client_id: int, shard: _Shard,
-                             host: Host, stats: ClientStats):
-        """One client's session against one shard (cf. ``_build_session``).
-
-        Client-side randomness is shard-derived: ``(seed, shard_id)``
-        then per-client forks, so adding shards never perturbs the
-        retry/back-off draws against existing shards.
-        """
-        config = self.config
-        crngs = self.rngs.shard(shard.shard_id).fork(f"client-{client_id}")
-        conn = shard.fm_server.open_connection(host)
-        fm = FmSession(
-            self.sim, conn, client_id, stats,
-            retry=config.retry,
-            rng=crngs.stream("retry"),
-        )
-        if shard.heartbeats is not None:
-            shard.heartbeats.subscribe(
-                conn.response_ring,
-                lambda hb, c=conn: c.server_post_response(hb),
-            )
-        if self.spec.offload == OFFLOAD_NEVER:
-            return fm
-        engine = OffloadEngine(
-            self.sim,
-            conn.client_end,
-            shard.server.offload_descriptor(),
-            config.costs,
-            stats,
-            multi_issue=self.spec.multi_issue,
-            tracer=self.tracer,
-        )
-        if self.spec.offload == OFFLOAD_ALWAYS:
-            return OffloadSession(engine, fm, stats)
-        if self.spec.offload == OFFLOAD_ADAPTIVE:
-            breaker = (CircuitBreaker(self.sim, config.breaker)
-                       if config.breaker is not None else None)
-            return CatfishSession(
-                self.sim,
-                fm,
-                engine,
-                stats,
-                params=config.adaptive,
-                rng=crngs.stream("backoff"),
-                pred_util=make_predictor(self.spec.predictor),
-                tracer=self.tracer,
-                breaker=breaker,
-                stale_after_missing=config.stale_after_missing,
-            )
-        raise ValueError(
-            f"offload mode {self.spec.offload!r} is not supported sharded"
-        )
-
     def _register_metrics(self) -> None:
         m = self.metrics
         m.expose("shard.n_shards", lambda: self.n_shards)
-        for shard in self.shards:
-            shard.register_metrics(m)
+        for shard_id, shard in enumerate(self.shards):
+            shard.register_metrics(m, label=f"shard{shard_id}")
         if self.injector is not None:
             self.injector.register_metrics(m)
 
@@ -360,6 +247,12 @@ class ShardedExperimentRunner:
                 lambda f=field: sum(int(getattr(r, f))
                                     for r in router_stats),
             )
+        # Client-side policy counters (offload engine / Algorithm 1 /
+        # bandit), summed over every client's per-shard sessions — the
+        # same names the single-server runner exposes.
+        register_session_aggregates(
+            m, [s for per_client in self.sessions for s in per_client],
+        )
 
     def _mean_cpu_utilization(self) -> float:
         return (sum(s.host.cpu.utilization() for s in self.shards)

@@ -1,0 +1,224 @@
+"""Runtime-layer parity: goldens, builder shape, and policy wiring.
+
+The runtime refactor (ServerStack / PathPolicy / SessionFactory) carries
+a hard determinism contract: RNG stream names and draw order are
+preserved, so every scheme must reproduce the result fingerprints and
+chaos fingerprints captured *before* the refactor, bit-identically.
+The GOLDEN_* values below are those pre-refactor captures — do not
+regenerate them to make a failing test pass; a mismatch means the
+simulation's behaviour changed.
+"""
+
+import pytest
+
+from repro.client.adaptive import CatfishSession, most_recent_utilization
+from repro.client.bandit import BanditSession
+from repro.client.fm_client import FmSession
+from repro.client.predictors import most_recent
+from repro.client.resilience import BreakerParams
+from repro.cluster.builder import ExperimentRunner, run_experiment
+from repro.cluster.config import ExperimentConfig
+from repro.cluster.results import result_fingerprint
+from repro.cluster.schemes import SCHEMES
+from repro.faults import run_scenario
+from repro.runtime import (
+    Algorithm1Policy,
+    AlwaysFmPolicy,
+    AlwaysOffloadPolicy,
+    BanditPolicy,
+    PolicySession,
+    SessionFactory,
+)
+from repro.shard.deploy import ShardedExperimentRunner
+
+# -- golden fingerprints (captured at the pre-refactor seed commit) -------
+
+GOLDEN_RUNS = {
+    "catfish": "9a26b616d136b426",
+    "catfish+hybrid": "8036cd15fa2004ec",
+    "catfish-bandit": "8e13341a63b212cc",
+    "catfish-ewma": "e661c415a0880bc4",
+    "catfish-polling": "1d3a5247fa6d859f",
+    "catfish-sharded": "ac277f20b080e03e",
+    "catfish-sharded+hybrid": "6c50012eaa042c7f",
+    "catfish-single-issue": "e524738d2309c826",
+    "catfish-trend": "b5d46f6cc58f3930",
+    "fast-messaging": "2083873c011f1bbe",
+    "fast-messaging-event": "8e1b1664b1c8733f",
+    "rdma-offloading": "750b3cfc938a4495",
+    "rdma-offloading-multi": "c225a9f60cd7fc87",
+    "tcp": "0521d1b31a63d5d7",
+}
+
+GOLDEN_CHAOS = {
+    "chaos-combo": "a0c84b80ec25e8f1",
+    "heartbeat-blackout": "e06962d2a3fdfced",
+    "latency-spike": "6a7ee3635da91eb9",
+    "link-loss": "747980c21edbc87f",
+    "nic-read-stall": "94e7e04486194253",
+    "overload-shed": "93047475084e5fef",
+    "shard-loss": "c09891cfab5165d1",
+    "slow-client": "7cac61784274a673",
+    "worker-crash": "0782a818682ac5c4",
+    "write-storm": "6718b501b19046ed",
+}
+
+#: Scheme offload mode → expected (session type, policy type).
+EXPECTED_SHAPE = {
+    "never": (PolicySession, AlwaysFmPolicy),
+    "always": (PolicySession, AlwaysOffloadPolicy),
+    "adaptive": (CatfishSession, Algorithm1Policy),
+    "bandit": (BanditSession, BanditPolicy),
+}
+
+
+def golden_config(scheme, workload="search", **overrides):
+    """The exact configuration the goldens were captured under."""
+    fabric = "eth-1g" if SCHEMES[scheme].transport == "tcp" else "ib-100g"
+    base = dict(
+        scheme=scheme, fabric=fabric, n_clients=4, requests_per_client=40,
+        dataset_size=2000, server_cores=4, workload_kind=workload, seed=0,
+    )
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+# -- fingerprint identity across the refactor ----------------------------
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+def test_scheme_fingerprint_matches_pre_refactor_golden(scheme):
+    result = run_experiment(golden_config(scheme))
+    assert result_fingerprint(result) == GOLDEN_RUNS[scheme]
+
+
+@pytest.mark.parametrize("scheme", ["catfish", "catfish-sharded"])
+def test_hybrid_workload_fingerprint_matches_golden(scheme):
+    # Hybrid exercises the write path (always fast messaging) through
+    # the policy layer.
+    result = run_experiment(golden_config(scheme, workload="hybrid"))
+    assert result_fingerprint(result) == GOLDEN_RUNS[scheme + "+hybrid"]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_CHAOS))
+def test_chaos_fingerprint_matches_pre_refactor_golden(name):
+    report = run_scenario(name, seed=0, n_clients=2,
+                          requests_per_client=150, dataset_size=1000)
+    assert report.fingerprint() == GOLDEN_CHAOS[name]
+
+
+def test_back_to_back_runs_are_deterministic():
+    a = run_experiment(golden_config("catfish"))
+    b = run_experiment(golden_config("catfish"))
+    assert result_fingerprint(a) == result_fingerprint(b)
+
+
+# -- builder parity: one assembly path, same shape everywhere ------------
+
+def tiny_config(scheme, **overrides):
+    base = dict(scheme=scheme, fabric="ib-100g", n_clients=2,
+                requests_per_client=1, dataset_size=60, server_cores=2,
+                seed=0)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+RDMA_SCHEMES = sorted(
+    name for name, spec in SCHEMES.items() if spec.transport != "tcp"
+)
+
+
+@pytest.mark.parametrize("scheme", RDMA_SCHEMES)
+def test_single_and_sharded_builders_produce_same_session_shape(scheme):
+    spec = SCHEMES[scheme]
+    session_type, policy_type = EXPECTED_SHAPE[spec.offload]
+
+    single = ExperimentRunner(tiny_config(scheme, n_shards=1))
+    for session in single.sessions:
+        assert type(session) is session_type
+        assert type(session.policy) is policy_type
+        assert session.policy.name == spec.policy
+
+    sharded = ShardedExperimentRunner(tiny_config(scheme, n_shards=2))
+    for per_client in sharded.sessions:
+        assert len(per_client) == 2
+        for session in per_client:
+            assert type(session) is session_type
+            assert type(session.policy) is policy_type
+            assert session.policy.name == spec.policy
+
+
+def test_tcp_builder_produces_tcp_sessions():
+    from repro.client.tcp_client import TcpSession
+    runner = ExperimentRunner(tiny_config("tcp", fabric="eth-1g"))
+    assert all(type(s) is TcpSession for s in runner.sessions)
+
+
+def test_duplicated_assembly_paths_are_gone():
+    # The acceptance criterion: exactly one session-assembly path.
+    assert not hasattr(ExperimentRunner, "_build_session")
+    assert not hasattr(ShardedExperimentRunner, "_build_shard_session")
+    assert isinstance(ExperimentRunner(tiny_config("catfish")).factory,
+                      SessionFactory)
+
+
+def test_adaptive_sessions_share_stream_names_across_deployments():
+    # Both deployments must feed the policy from a stream named
+    # "backoff" and the FM session from "retry" — the determinism
+    # contract is stream *names*, which this guards structurally.
+    single = ExperimentRunner(tiny_config("catfish"))
+    sharded = ShardedExperimentRunner(tiny_config("catfish", n_shards=2))
+    sessions = list(single.sessions) + [
+        s for per_client in sharded.sessions for s in per_client
+    ]
+    for session in sessions:
+        assert isinstance(session.fm, FmSession)
+        assert session.policy.rng is not None
+        assert session.engine is not None
+
+
+# -- bandit parity (tracer + metrics + breaker, sharded support) ---------
+
+def test_bandit_runs_sharded():
+    config = tiny_config("catfish-bandit", n_shards=3,
+                         requests_per_client=5)
+    result = ShardedExperimentRunner(config).run()
+    assert result.total_requests == config.total_requests
+    assert result.extra["n_shards"] == 3.0
+
+
+def test_bandit_gets_breaker_and_tracer_from_config():
+    config = tiny_config("catfish-bandit", breaker=BreakerParams(),
+                         trace=True)
+    runner = ExperimentRunner(config)
+    for session in runner.sessions:
+        assert session.breaker is not None
+        assert session.tracer is runner.tracer
+
+
+def test_bandit_metrics_registered_in_both_runners():
+    single = ExperimentRunner(tiny_config("catfish-bandit"))
+    single.run()
+    names = set(single.metrics.snapshot())
+    assert {"bandit.explorations", "bandit.mode_fm",
+            "bandit.mode_offload"} <= names
+
+    sharded = ShardedExperimentRunner(
+        tiny_config("catfish-bandit", n_shards=2, requests_per_client=3))
+    sharded.run()
+    assert "bandit.mode_fm" in set(sharded.metrics.snapshot())
+
+
+def test_sharded_adaptive_aggregates_now_registered():
+    runner = ShardedExperimentRunner(
+        tiny_config("catfish", n_shards=2, requests_per_client=3))
+    runner.run()
+    names = set(runner.metrics.snapshot())
+    assert {"adaptive.decisions_offload", "adaptive.decisions_fm",
+            "offload.chunks_fetched"} <= names
+
+
+# -- satellite: predictor dedupe ----------------------------------------
+
+def test_most_recent_utilization_is_the_predictors_implementation():
+    assert most_recent_utilization is most_recent
+    assert most_recent_utilization(0.42) == 0.42
