@@ -57,6 +57,7 @@ CLIENT_COUNTER_FIELDS = (
     "fast_messaging_requests",
     "offloaded_requests",
     "torn_retries",
+    "level_mismatch_retries",
     "search_restarts",
     "results_received",
     # Resilience counters (deadlines/retries/duplicate suppression — see
@@ -85,6 +86,10 @@ class ClientStats:
     fast_messaging_requests: Counter = field(default_factory=Counter)
     offloaded_requests: Counter = field(default_factory=Counter)
     torn_retries: Counter = field(default_factory=Counter)
+    #: Valid-but-wrong-level reads (recycled chunk / stale root) — a
+    #: different failure than a torn snapshot, counted separately so the
+    #: two diagnoses don't blur into one number.
+    level_mismatch_retries: Counter = field(default_factory=Counter)
     search_restarts: Counter = field(default_factory=Counter)
     results_received: Counter = field(default_factory=Counter)
     #: Attempts abandoned because the response deadline expired.

@@ -17,11 +17,22 @@ The paper's second design (§III-B) plus the multi-issue enhancement
 
 Writes are *never* offloaded: insert/delete always travel the fast
 messaging path so the server's lock manager serializes them (§III-B).
+
+An optional client-side :class:`~repro.client.node_cache.NodeCache`
+(RDMAbox-style) serves repeated upper-level fetches locally: internal
+views are cached under the tree's mutation high-water mark, concurrent
+fetches of the same chunk coalesce into one in-flight read
+(single-flight), and distinct same-round multi-issue reads are
+doorbell-batched through one :meth:`QpEndpoint.post_read_batch`.  Leaf
+chunks are always re-read and re-validated — the FaRM version check on
+fresh leaf reads is the safety net under concurrent writes.  With no
+cache attached (the default) every code path is byte-identical to the
+pre-cache engine.
 """
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Optional, Tuple
 
 from ..obs.registry import Counter, MetricsRegistry
 from ..obs.trace import NULL_SPAN, NULL_TRACER
@@ -35,8 +46,9 @@ from ..sim.resources import Store
 from ..transport.rdma import QpEndpoint
 from .base import OP_SEARCH, ClientStats, Request
 from .fm_client import FmSession
+from .node_cache import NodeCache
 
-#: Bytes of a meta read (root pointer + height).
+#: Bytes of a meta read (root pointer + height + mutation mark).
 META_READ_SIZE = 16
 
 
@@ -59,6 +71,7 @@ class OffloadEngine:
         max_search_restarts: int = 8,
         retry_backoff: float = 1e-6,
         tracer=None,
+        cache: Optional[NodeCache] = None,
     ):
         self.sim = sim
         self.qp = qp
@@ -76,6 +89,18 @@ class OffloadEngine:
         self.meta_reads = Counter("offload.meta_reads")
         self.stale_root_detections = Counter("offload.stale_root_detections")
         self.chunks_fetched = Counter("offload.chunks_fetched")
+        self.cache: Optional[NodeCache] = None
+        #: Single-flight table: chunk id -> follower events sharing the
+        #: leader's in-flight read.  Only allocated with a cache attached
+        #: so the cache-less engine stays byte-identical to the seed.
+        self._inflight_reads: Optional[Dict[int, List]] = None
+        if cache is not None:
+            self.attach_cache(cache)
+
+    def attach_cache(self, cache: NodeCache) -> None:
+        """Enable the client-side node cache (and read coalescing)."""
+        self.cache = cache
+        self._inflight_reads = {}
 
     def register_metrics(self, registry: MetricsRegistry,
                          prefix: str = "offload") -> None:
@@ -84,6 +109,8 @@ class OffloadEngine:
         registry.adopt(f"{prefix}.stale_root_detections",
                        self.stale_root_detections)
         registry.adopt(f"{prefix}.chunks_fetched", self.chunks_fetched)
+        if self.cache is not None:
+            self.cache.register_metrics(registry, prefix="cache")
 
     # -- low-level reads -----------------------------------------------------
 
@@ -111,25 +138,96 @@ class OffloadEngine:
         self._cached_height = meta.height
         return stale
 
+    def _note_meta_hwm(self, meta: TreeMeta) -> bool:
+        """Feed the meta read's mutation mark to the cache; True if it
+        advanced (cached views fetched under an older mark were dropped).
+        """
+        if self.cache is None or meta.mut_seq < 0:
+            return False
+        return self.cache.note_server_hwm(meta.mut_seq)
+
+    def _post_chunk_read(self, chunk_id: int):
+        return self.qp.post_read(
+            self.desc.tree_rkey,
+            self._chunk_address(chunk_id),
+            self.desc.chunk_bytes,
+        )
+
+    def _fetch_chunk(self, chunk_id: int) -> Generator:
+        """One raw chunk fetch; coalesces with an in-flight read.
+
+        With a cache attached, concurrent fetches of the same chunk
+        (multi-issue re-reads, concurrent searches sharing this engine)
+        share one RDMA Read via the single-flight table: the leader
+        posts, followers wait on it and receive the same raw data.
+        """
+        inflight = self._inflight_reads
+        if inflight is None:
+            data = yield self._post_chunk_read(chunk_id)
+            self.chunks_fetched += 1
+            return data
+        waiters = inflight.get(chunk_id)
+        if waiters is not None:
+            event = self.sim.event()
+            waiters.append(event)
+            if self.cache is not None:
+                self.cache.coalesced_reads += 1
+            data = yield event
+            return data
+        inflight[chunk_id] = []
+        try:
+            data = yield self._post_chunk_read(chunk_id)
+            self.chunks_fetched += 1
+        except BaseException as exc:
+            for event in inflight.pop(chunk_id):
+                event.fail(exc)
+            raise
+        for event in inflight.pop(chunk_id):
+            event.succeed(data)
+        return data
+
+    def _await_batched(self, chunk_id: int, read_event) -> Generator:
+        """Consume a doorbell-batched read, feeding any followers."""
+        inflight = self._inflight_reads
+        try:
+            data = yield read_event
+        except BaseException as exc:
+            if inflight is not None:
+                for event in inflight.pop(chunk_id, ()):
+                    event.fail(exc)
+            raise
+        if inflight is not None:
+            for event in inflight.pop(chunk_id, ()):
+                event.succeed(data)
+        return data
+
     def _read_valid(
-        self, chunk_id: int, expected_level: int
+        self, chunk_id: int, expected_level: int, first_read=None
     ) -> Generator:
         """Fetch one chunk, re-reading torn snapshots; None on failure.
 
         The server serves either :class:`NodeView` snapshots (fast path)
         or raw chunk bytes (full-fidelity byte mode); the byte path runs
         the real decode + per-cache-line version comparison.
+
+        ``first_read`` optionally supplies an already-posted (doorbell-
+        batched) read event to consume as attempt 0; retries always post
+        their own reads.
         """
         span = self._span
+        cache = self.cache
         for attempt in range(self.max_read_retries):
             span.annotate("issue", chunk=chunk_id, level=expected_level,
                           attempt=attempt)
-            data = yield self.qp.post_read(
-                self.desc.tree_rkey,
-                self._chunk_address(chunk_id),
-                self.desc.chunk_bytes,
-            )
-            self.chunks_fetched += 1
+            # Stamp captured before the fetch: if the high-water mark
+            # moves while the read is in flight, the store below is
+            # skipped rather than mis-stamping pre-mutation content.
+            stamp = cache.server_hwm if cache is not None else None
+            if first_read is not None:
+                data = yield from self._await_batched(chunk_id, first_read)
+                first_read = None
+            else:
+                data = yield from self._fetch_chunk(chunk_id)
             if isinstance(data, (bytes, bytearray)):
                 view = view_from_bytes(data, self.desc.max_entries)
                 ok = view is not None
@@ -138,11 +236,23 @@ class OffloadEngine:
                 ok = validate_snapshot(view)
             if ok and view.level == expected_level:
                 span.annotate("validate", chunk=chunk_id, ok=True)
+                if cache is not None:
+                    cache.store(view, stamp=stamp)
                 return view
-            self.stats.torn_retries += 1
+            if ok:
+                # Valid image at the wrong level: a recycled chunk or a
+                # stale root, not a torn snapshot — keep the diagnosis
+                # streams separate.
+                self.stats.level_mismatch_retries += 1
+            else:
+                self.stats.torn_retries += 1
             span.annotate("retry", chunk=chunk_id, attempt=attempt,
                           torn=not ok)
-            yield self.sim.timeout(self.retry_backoff * (attempt + 1))
+            if attempt < self.max_read_retries - 1:
+                # No backoff after the final attempt: the caller is about
+                # to restart (or fail) anyway, and the largest backoff of
+                # the schedule would be pure added latency.
+                yield self.sim.timeout(self.retry_backoff * (attempt + 1))
         return None
 
     # -- search ------------------------------------------------------------------
@@ -160,6 +270,8 @@ class OffloadEngine:
         """
         self.stats.offloaded_requests += 1
         span = self._span = self.tracer.span("offload", "search")
+        ended = False
+        error: Optional[str] = None
         try:
             for _restart in range(self.max_search_restarts):
                 if self.multi_issue:
@@ -169,16 +281,26 @@ class OffloadEngine:
                 if matches is not None:
                     self.stats.results_received += len(matches)
                     span.end(restarts=_restart, results=len(matches))
+                    ended = True
                     return matches
                 # Stale root or persistent torn reads: retraverse.
                 self.stats.search_restarts += 1
                 span.annotate("restart", attempt=_restart + 1)
+            error = "restarts-exhausted"
+            raise OffloadError(
+                f"search did not complete after {self.max_search_restarts} "
+                f"restarts"
+            )
+        except BaseException as exc:
+            # An escaping exception (e.g. an injected fault) must still
+            # end the span — a leaked span pins its trace ring slot.
+            if error is None:
+                error = type(exc).__name__
+            raise
         finally:
             self._span = NULL_SPAN
-        span.end(error="restarts-exhausted")
-        raise OffloadError(
-            f"search did not complete after {self.max_search_restarts} restarts"
-        )
+            if not ended:
+                span.end(error=error if error is not None else "unknown")
 
     def count(self, query: Rect) -> Generator:
         """Aggregate-only offloaded search: traverse, count, ship nothing
@@ -193,6 +315,7 @@ class OffloadEngine:
         heap top), so each expansion costs a round trip — kNN is the
         worst case for offloading and the best case for fast messaging,
         which the adaptive client will discover via its latencies.
+        Traced and counted with full :meth:`search` parity.
         """
         import heapq
         import itertools as _it
@@ -200,41 +323,65 @@ class OffloadEngine:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.stats.offloaded_requests += 1
-        for _restart in range(self.max_search_restarts):
-            meta = yield from self._read_meta()
-            self._apply_meta(meta)
-            counter = _it.count()
-            heap = [(0.0, next(counter), "chunk",
-                     (self._cached_root, self._cached_height - 1))]
-            matches: List[Tuple[Rect, int]] = []
-            failed = False
-            while heap and len(matches) < k:
-                _dist, _seq, kind, payload = heapq.heappop(heap)
-                if kind == "entry":
-                    matches.append(payload)
-                    continue
-                chunk_id, level = payload
-                view = yield from self._read_valid(chunk_id, level)
-                if view is None:
-                    failed = True
-                    break
-                yield self.sim.timeout(self._check_cost())
-                for rect, ref in view.entries:
-                    dist = rect.min_dist2_point(x, y)
-                    if view.is_leaf:
-                        heapq.heappush(heap, (dist, next(counter), "entry",
-                                              (rect, ref)))
-                    else:
-                        heapq.heappush(heap, (dist, next(counter), "chunk",
-                                              (ref, level - 1)))
-            if not failed:
-                self.stats.results_received += len(matches)
-                return matches
-            self.stats.search_restarts += 1
-        raise OffloadError(
-            f"nearest() did not complete after {self.max_search_restarts} "
-            f"restarts"
-        )
+        span = self._span = self.tracer.span("offload", "nearest")
+        ended = False
+        error: Optional[str] = None
+        try:
+            for _restart in range(self.max_search_restarts):
+                meta = yield from self._read_meta()
+                self._apply_meta(meta)
+                self._note_meta_hwm(meta)
+                counter = _it.count()
+                heap = [(0.0, next(counter), "chunk",
+                         (self._cached_root, self._cached_height - 1))]
+                matches: List[Tuple[Rect, int]] = []
+                failed = False
+                while heap and len(matches) < k:
+                    _dist, _seq, kind, payload = heapq.heappop(heap)
+                    if kind == "entry":
+                        matches.append(payload)
+                        continue
+                    chunk_id, level = payload
+                    view: Optional[NodeView] = None
+                    if self.cache is not None and level > 0:
+                        view = self.cache.lookup(chunk_id)
+                        if view is not None:
+                            span.annotate("cache_hit", chunk=chunk_id,
+                                          level=level)
+                    if view is None:
+                        view = yield from self._read_valid(chunk_id, level)
+                    if view is None:
+                        failed = True
+                        break
+                    yield self.sim.timeout(self._check_cost())
+                    for rect, ref in view.entries:
+                        dist = rect.min_dist2_point(x, y)
+                        if view.is_leaf:
+                            heapq.heappush(heap, (dist, next(counter),
+                                                  "entry", (rect, ref)))
+                        else:
+                            heapq.heappush(heap, (dist, next(counter),
+                                                  "chunk", (ref, level - 1)))
+                if not failed:
+                    self.stats.results_received += len(matches)
+                    span.end(restarts=_restart, results=len(matches))
+                    ended = True
+                    return matches
+                self.stats.search_restarts += 1
+                span.annotate("restart", attempt=_restart + 1)
+            error = "restarts-exhausted"
+            raise OffloadError(
+                f"nearest() did not complete after "
+                f"{self.max_search_restarts} restarts"
+            )
+        except BaseException as exc:
+            if error is None:
+                error = type(exc).__name__
+            raise
+        finally:
+            self._span = NULL_SPAN
+            if not ended:
+                span.end(error=error if error is not None else "unknown")
 
     def _check_cost(self) -> float:
         return self.costs.client_node_check
@@ -243,11 +390,18 @@ class OffloadEngine:
         """Baseline traversal: one outstanding RDMA Read at a time."""
         meta = yield from self._read_meta()
         self._apply_meta(meta)
+        self._note_meta_hwm(meta)
         matches: List[Tuple[Rect, int]] = []
         stack = [(self._cached_root, self._cached_height - 1)]
         while stack:
             chunk_id, level = stack.pop()
-            view = yield from self._read_valid(chunk_id, level)
+            view: Optional[NodeView] = None
+            if self.cache is not None and level > 0:
+                # The sequential meta read above already synchronized the
+                # high-water mark, so a hit is exact as of search start.
+                view = self.cache.lookup(chunk_id)
+            if view is None:
+                view = yield from self._read_valid(chunk_id, level)
             if view is None:
                 return None
             yield self.sim.timeout(self._check_cost())
@@ -267,19 +421,29 @@ class OffloadEngine:
         bootstrap meta read *is* the validation — issuing a second,
         concurrent meta fetch would pay an extra RTT for a value fetched
         one RTT ago, so it is skipped.
+
+        With a cache attached the same meta read also validates every
+        cache hit: if it reveals the mutation mark advanced after hits
+        were already served (they described a pre-mutation tree), the
+        attempt is abandoned exactly like a stale root.  Distinct missing
+        chunks of one expansion round are posted through a single
+        doorbell (``post_read_batch``).
         """
+        cache = self.cache
         cold_start = self._cached_root is None
         if cold_start:
             meta = yield from self._read_meta()
             self._apply_meta(meta)
+            self._note_meta_hwm(meta)
 
         matches: List[Tuple[Rect, int]] = []
         arrived: Store = Store(self.sim)
         inflight = 0
         failed = False
+        cache_hits_used = 0
 
-        def fetch(chunk_id: int, level: int) -> Generator:
-            view = yield from self._read_valid(chunk_id, level)
+        def fetch(chunk_id: int, level: int, first_read=None) -> Generator:
+            view = yield from self._read_valid(chunk_id, level, first_read)
             arrived.put(("node", view))
 
         def fetch_meta() -> Generator:
@@ -291,16 +455,60 @@ class OffloadEngine:
             inflight += 1
             self.sim.process(fetch(chunk_id, level), name="multi-issue-read")
 
+        def issue_all(pairs: List[Tuple[int, int]]) -> None:
+            """Expand one round: cache hits served locally, in-flight
+            chunks coalesced, the remaining misses doorbell-batched."""
+            nonlocal inflight, cache_hits_used
+            inflight_reads = self._inflight_reads
+            if cache is None or inflight_reads is None:
+                for chunk_id, level in pairs:
+                    issue(chunk_id, level)
+                return
+            to_post: List[Tuple[int, int]] = []
+            for chunk_id, level in pairs:
+                view = cache.lookup(chunk_id) if level > 0 else None
+                if view is not None:
+                    cache_hits_used += 1
+                    inflight += 1
+                    arrived.put(("node", view))
+                elif chunk_id in inflight_reads:
+                    # Single-flight: _fetch_chunk joins the leader.
+                    issue(chunk_id, level)
+                else:
+                    to_post.append((chunk_id, level))
+            if not to_post:
+                return
+            if len(to_post) == 1:
+                issue(*to_post[0])
+                return
+            events = self.qp.post_read_batch([
+                (self.desc.tree_rkey, self._chunk_address(chunk_id),
+                 self.desc.chunk_bytes)
+                for chunk_id, _level in to_post
+            ])
+            for (chunk_id, level), event in zip(to_post, events):
+                inflight_reads[chunk_id] = []
+                self.chunks_fetched += 1
+                inflight += 1
+                self.sim.process(fetch(chunk_id, level, first_read=event),
+                                 name="multi-issue-read")
+
         if not cold_start:
             inflight += 1
             self.sim.process(fetch_meta(), name="multi-issue-meta")
-        issue(self._cached_root, self._cached_height - 1)
+        issue_all([(self._cached_root, self._cached_height - 1)])
         while inflight:
             kind, payload = yield arrived.get()
             inflight -= 1
             if kind == "meta":
-                if self._apply_meta(payload):
+                stale_root = self._apply_meta(payload)
+                hwm_advanced = self._note_meta_hwm(payload)
+                if stale_root:
                     failed = True  # traversal began at a stale root
+                elif hwm_advanced and cache_hits_used:
+                    # Hits already served this attempt were stamped under
+                    # an older mark than the tree this search observes.
+                    failed = True
                 continue
             view = payload
             if view is None:
@@ -312,8 +520,8 @@ class OffloadEngine:
             if view.is_leaf:
                 matches.extend(view.intersecting_entries(query))
             else:
-                for ref in view.intersecting_refs(query):
-                    issue(ref, view.level - 1)
+                issue_all([(ref, view.level - 1)
+                           for ref in view.intersecting_refs(query)])
         return None if failed else matches
 
 

@@ -87,6 +87,17 @@ def register_session_aggregates(metrics: MetricsRegistry,
                 f"offload.{field}",
                 lambda f=field: sum(int(getattr(e, f)) for e in engines),
             )
+    caches = [e.cache for e in engines
+              if getattr(e, "cache", None) is not None]
+    if caches:
+        for field in ("hits", "misses", "invalidations", "coalesced_reads",
+                      "stores", "evictions", "hint_flushes"):
+            metrics.expose(
+                f"cache.{field}",
+                lambda f=field: sum(int(getattr(c, f)) for c in caches),
+            )
+        metrics.expose("cache.resident_nodes",
+                       lambda: sum(len(c) for c in caches))
     adaptive = [s for s in sessions if isinstance(s, CatfishSession)]
     if adaptive:
         for field in ADAPTIVE_AGGREGATE_FIELDS:

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from ..client.adaptive import AdaptiveParams
+from ..client.node_cache import NodeCacheConfig
 from ..client.resilience import BreakerParams, RetryPolicy
 from ..faults.plan import FaultPlan
 from ..rtree.geometry import Rect
@@ -72,6 +73,12 @@ class ExperimentConfig:
     #: Server overload guard: shed a consumed request when this many are
     #: still queued behind it; None disables shedding.
     max_queue_depth: Optional[int] = None
+
+    #: Client-side cache of internal node views for the offload path
+    #: (RDMAbox-style; see repro.client.node_cache).  None/disabled keeps
+    #: the engine byte-identical to the cache-less seed — the golden
+    #: fingerprints are pinned on that default.
+    node_cache: Optional[NodeCacheConfig] = None
 
     #: When True, the runner samples (time, cpu_util, offload_fraction)
     #: every heartbeat interval into ``RunResult.timeline`` and registers

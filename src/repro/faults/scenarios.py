@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..client.adaptive import AdaptiveParams, CatfishSession
 from ..client.base import ClientStats, OP_SEARCH, Request
 from ..client.fm_client import FmSession
+from ..client.node_cache import NodeCache, NodeCacheConfig
 from ..client.offload_client import OffloadEngine, OffloadError
 from ..client.resilience import (
     BreakerParams,
@@ -114,6 +115,13 @@ class ChaosConfig:
     #: microseconds instead of grinding through the default budget.
     engine_read_retries: int = 4
     engine_search_restarts: int = 3
+
+    #: Client-side node cache under faults (None = seed behaviour; the
+    #: chaos golden fingerprints are pinned on None).  Enabling it runs
+    #: every scenario's oracle/invariant checks against cache-served
+    #: traversals — the write-storm scenario is the cache's adversarial
+    #: exactness test.
+    node_cache: Optional[NodeCacheConfig] = None
 
     #: Simulated-time ceiling for one scenario (wedges fail, not hang).
     time_limit: float = 0.05
@@ -321,9 +329,13 @@ class _Cluster:
             ring_capacity=cfg.ring_capacity,
             max_queue_depth=cfg.max_queue_depth,
         )
+        cache_enabled = (cfg.node_cache is not None
+                         and cfg.node_cache.enabled)
         self.heartbeats = HeartbeatService(
             sim, server_host.cpu.window_utilization,
             interval=cfg.heartbeat_interval,
+            mut_seq_fn=((lambda: self.server.tree.mut_hwm)
+                        if cache_enabled else None),
         )
         self.injector.attach_heartbeats(self.heartbeats)
 
@@ -347,6 +359,10 @@ class _Cluster:
                 max_read_retries=cfg.engine_read_retries,
                 max_search_restarts=cfg.engine_search_restarts,
             )
+            if cache_enabled:
+                cache = NodeCache(cfg.node_cache)
+                engine.attach_cache(cache)
+                conn.mailbox.attach_hint_sink(cache.apply_hint)
             breaker = CircuitBreaker(sim, cfg.breaker)
             session = CatfishSession(
                 sim, fm, engine, stats, params=cfg.adaptive,

@@ -210,15 +210,28 @@ class KvScanRequest:
 
 @dataclass(frozen=True)
 class Heartbeat:
-    """Server CPU utilization piggybacked to clients every Inv (§IV-A)."""
+    """Server CPU utilization piggybacked to clients every Inv (§IV-A).
+
+    ``mut_seq`` optionally piggybacks the tree's mutation high-water
+    mark as a client-cache invalidation hint (see
+    :mod:`repro.client.node_cache`): a write storm then flushes stale
+    upper-level views between searches without any extra round trips.
+    ``None`` (the default) is the legacy wire format — the field is
+    simply absent and the payload size is unchanged, so old senders and
+    receivers interoperate bit-identically.
+    """
 
     utilization: float
     seq: int = 0
+    mut_seq: Optional[int] = None
 
     msg_type = MSG_HEARTBEAT
 
     def payload_size(self) -> int:
-        return 8 + 4  # f64 utilization + u32 sequence
+        size = 8 + 4  # f64 utilization + u32 sequence
+        if self.mut_seq is not None:
+            size += 8  # u64 mutation high-water mark (hint extension)
+        return size
 
 
 def message_size(message) -> int:

@@ -98,6 +98,14 @@ class RStarTree:
         self.nodes: Dict[int, Node] = {}
         self.root = self._new_node(level=0)
         self.size = 0  # number of stored rectangles
+        #: Tree-wide mutation high-water mark: bumped once per completed
+        #: structural mutation (insert / successful delete).  Exposed to
+        #: offloading clients through the meta region and piggybacked on
+        #: heartbeats so client-side node caches know when *any* cached
+        #: upper-level view may have gone stale.  Unlike the per-node
+        #: ``mut_seq`` it is globally comparable, and like ``mut_seq`` it
+        #: moves at the in-memory mutation (not at write-window close).
+        self.mut_hwm = 0
 
     # -- node lifecycle -----------------------------------------------------
 
@@ -243,6 +251,7 @@ class RStarTree:
         self._insert_entry(Entry(rect, data_id=data_id), level=0,
                            result=result)
         self.size += 1
+        self.mut_hwm += 1
         return result
 
     def _insert_entry(self, entry: Entry, level: int,
@@ -487,6 +496,7 @@ class RStarTree:
         leaf.remove(entry)
         self._note_mutation(leaf, result)
         self.size -= 1
+        self.mut_hwm += 1
         self._condense_tree(leaf, result)
         # Shrink the root if it became a lone-child internal node.
         while not self.root.is_leaf and self.root.count == 1:

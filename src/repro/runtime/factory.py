@@ -22,6 +22,7 @@ from ..client.adaptive import CatfishSession
 from ..client.bandit import BanditSession
 from ..client.base import ClientStats
 from ..client.fm_client import FmSession
+from ..client.node_cache import NodeCache
 from ..client.offload_client import OffloadEngine
 from ..client.predictors import make_predictor
 from ..client.resilience import CircuitBreaker
@@ -96,6 +97,13 @@ class SessionFactory:
             multi_issue=self.spec.multi_issue,
             tracer=self.tracer,
         )
+        cache_cfg = getattr(config, "node_cache", None)
+        if cache_cfg is not None and cache_cfg.enabled:
+            cache = NodeCache(cache_cfg)
+            engine.attach_cache(cache)
+            # Heartbeat-piggybacked invalidation hints land in this
+            # client's mailbox; flush stale views as they are delivered.
+            conn.mailbox.attach_hint_sink(cache.apply_hint)
         if policy == AlwaysOffloadPolicy.name:
             return PolicySession(
                 self.sim, fm, engine, stats, AlwaysOffloadPolicy(),

@@ -83,10 +83,21 @@ class ServerStack:
                 max_queue_depth=config.max_queue_depth,
             )
             if spec.heartbeats:
+                cache_cfg = getattr(config, "node_cache", None)
+                # With client node caches enabled, every beat piggybacks
+                # the tree's mutation high-water mark as an invalidation
+                # hint; otherwise keep the legacy wire format (the golden
+                # fingerprints are pinned on it).
+                mut_seq_fn = (
+                    (lambda: self.server.tree.mut_hwm)
+                    if cache_cfg is not None and cache_cfg.enabled
+                    else None
+                )
                 self.heartbeats = HeartbeatService(
                     sim,
                     self.host.cpu.window_utilization,
                     interval=config.heartbeat_interval,
+                    mut_seq_fn=mut_seq_fn,
                 )
 
     # -- lifecycle ---------------------------------------------------------

@@ -34,7 +34,9 @@ from ..rtree.versioning import SnapshotReader, WriteTracker
 from ..sim.kernel import Simulator
 from .costs import DEFAULT_COSTS, CostModel
 
-#: Meta region layout: root chunk id (u64) + tree height (u32) + pad.
+#: Meta region layout: root chunk id (u64) + tree height (u32) + the
+#: tree-wide mutation high-water mark (u32, wrapping) in the former pad
+#: word — same 16-byte read as before, so validation stays one tiny RTT.
 META_REGION_SIZE = 64
 
 #: Chunks are padded to a fixed 4 KB footprint (the paper sizes chunks for
@@ -57,10 +59,17 @@ class OffloadDescriptor:
 
 @dataclass(frozen=True)
 class TreeMeta:
-    """Contents of the meta chunk (read via a single tiny RDMA Read)."""
+    """Contents of the meta chunk (read via a single tiny RDMA Read).
+
+    ``mut_seq`` is the tree-wide mutation high-water mark
+    (:attr:`~repro.rtree.rstar.RStarTree.mut_hwm`) packed into the
+    formerly padded word of the 16-byte meta read; -1 only for legacy
+    senders that predate the field (the client cache then stays cold).
+    """
 
     root_chunk: int
     height: int
+    mut_seq: int = -1
 
 
 class TreeChunkTarget:
@@ -154,7 +163,8 @@ class MetaTarget:
 
     def rdma_read(self, address: int, length: int, now: float) -> TreeMeta:
         tree = self._server.tree
-        return TreeMeta(root_chunk=tree.root.chunk_id, height=tree.height)
+        return TreeMeta(root_chunk=tree.root.chunk_id, height=tree.height,
+                        mut_seq=tree.mut_hwm)
 
     def rdma_write(self, address: int, length: int, payload, now: float):
         raise PermissionError("the meta region is read-only for clients")

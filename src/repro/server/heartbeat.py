@@ -17,7 +17,7 @@ read (:meth:`HeartbeatMailbox.consume_fresh`), which makes a genuine
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Tuple
+from typing import Callable, Generator, List, Optional, Tuple
 
 from ..msg.codec import Heartbeat
 from ..obs.registry import Counter, MetricsRegistry
@@ -34,6 +34,17 @@ class HeartbeatMailbox:
         self.value = 0.0
         self.seq = -1
         self.updates = 0
+        #: Last piggybacked cache-invalidation hint (tree mut_seq
+        #: high-water mark); None until a hint-carrying beat lands.
+        self.mut_hint: Optional[int] = None
+        #: Callbacks fed every invalidation hint as it is delivered (the
+        #: offload engine's node cache registers here, so a write storm
+        #: flushes stale views without waiting for the next search).
+        self._hint_sinks: List[Callable[[int], None]] = []
+
+    def attach_hint_sink(self, sink: Callable[[int], None]) -> None:
+        """Register a consumer for piggybacked invalidation hints."""
+        self._hint_sinks.append(sink)
 
     def rdma_write(self, address: int, length: int, payload, now: float):
         """Verbs target: the server's heartbeat write lands here."""
@@ -45,6 +56,10 @@ class HeartbeatMailbox:
         self.value = heartbeat.utilization
         self.seq = heartbeat.seq
         self.updates += 1
+        if heartbeat.mut_seq is not None:
+            self.mut_hint = heartbeat.mut_seq
+            for sink in self._hint_sinks:
+                sink(heartbeat.mut_seq)
 
     def read_and_clear(self) -> float:
         """Algorithm 1 lines 7-10: read ``u_serv`` then memset it to 0."""
@@ -59,8 +74,14 @@ class HeartbeatMailbox:
         when the mailbox is empty / unchanged — the unambiguous form of
         the paper's "missing heartbeat" signal (a genuine 0.0-utilization
         heartbeat is *fresh*, not missing).
+
+        A sequence *regression* (``seq`` below ``last_seq`` on a mailbox
+        that has received at least one beat) means the server restarted
+        and its counter reset; the beat is consumed as fresh so the
+        client re-synchronizes instead of reading every post-restart
+        beat as missing until the counter catches up.
         """
-        if self.seq <= last_seq:
+        if self.updates == 0 or self.seq == last_seq:
             return None
         seq = self.seq
         value = self.value
@@ -76,12 +97,17 @@ class HeartbeatService:
         sim: Simulator,
         cpu_window_utilization,
         interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        mut_seq_fn: Optional[Callable[[], int]] = None,
     ):
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
         self.sim = sim
         self.interval = interval
         self._sample = cpu_window_utilization
+        #: When set, every beat piggybacks this sampler's value (the
+        #: tree's mutation high-water mark) as a client-cache
+        #: invalidation hint; None keeps the legacy wire format.
+        self._mut_seq_fn = mut_seq_fn
         #: (response_ring, send_fn) per connection; send_fn posts the
         #: actual RDMA Write of a heartbeat into that client's ring.
         self._subscribers: List = []
@@ -126,7 +152,10 @@ class HeartbeatService:
             utilization = self._sample()
             self.last_utilization = utilization
             self._seq += 1
-            heartbeat = Heartbeat(utilization=utilization, seq=self._seq)
+            mut_seq = (self._mut_seq_fn()
+                       if self._mut_seq_fn is not None else None)
+            heartbeat = Heartbeat(utilization=utilization, seq=self._seq,
+                                  mut_seq=mut_seq)
             for ring, send_fn in self._subscribers:
                 if ring.try_reserve(heartbeat):
                     send_fn(heartbeat)

@@ -26,7 +26,7 @@ detects reads that overlap concurrent server writes (torn reads).
 from __future__ import annotations
 
 import itertools
-from typing import Any, Generator, Optional
+from typing import Any, Generator, List, Optional, Sequence, Tuple
 
 from ..hw.host import Host
 from ..net.fabric import Network
@@ -168,6 +168,7 @@ class QpEndpoint:
         self.reads_posted = 0
         self.bytes_written = 0
         self.bytes_read = 0
+        self.read_batches = 0
 
     # -- verbs -------------------------------------------------------------
 
@@ -226,6 +227,37 @@ class QpEndpoint:
             name=self._read_name,
         )
         return done
+
+    def post_read_batch(
+        self, reads: Sequence[Tuple[int, int, int]]
+    ) -> List[Event]:
+        """Post several RDMA Reads with one doorbell (RDMAbox-style).
+
+        ``reads`` is a sequence of ``(rkey, remote_addr, length)`` work
+        requests.  The WQEs are chained so the per-post software
+        overhead (``rdma_post_overhead_s``) is paid once for the whole
+        batch instead of once per read — the NIC processing, wire time
+        and read-slot arbitration of each read are unchanged.  Returns
+        one completion event per read, in request order.
+        """
+        self._check_alive()
+        events: List[Event] = []
+        for i, (rkey, remote_addr, length) in enumerate(reads):
+            if length <= 0:
+                raise ValueError(f"read length must be > 0, got {length}")
+            wr_id = next(self._wr_ids)
+            self.reads_posted += 1
+            self.bytes_read += length
+            done = self.sim.event()
+            self.sim.process(
+                self._do_read(rkey, remote_addr, length, wr_id, done,
+                              charge_post_overhead=(i == 0)),
+                name=self._read_name,
+            )
+            events.append(done)
+        if events:
+            self.read_batches += 1
+        return events
 
     # -- internals ----------------------------------------------------------
 
@@ -292,11 +324,13 @@ class QpEndpoint:
         length: int,
         wr_id: int,
         done: Event,
+        charge_post_overhead: bool = True,
     ) -> Generator:
         sim = self.sim
         profile = self.network.profile
         wqe_s = profile.rdma_nic_processing_s
-        yield sim.timeout(profile.rdma_post_overhead_s)
+        if charge_post_overhead:
+            yield sim.timeout(profile.rdma_post_overhead_s)
         local_nic = self.local.nic
         slot = local_nic.acquire_read_slot()
         yield slot
