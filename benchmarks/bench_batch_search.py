@@ -1,0 +1,136 @@
+"""Cross-query batched search: visits/s floor, e2e RTT savings, fallback.
+
+Three claims, all beyond the paper (SIMD-style scan vectorization after
+Rayhan & Aref, plus cross-query frontier sharing):
+
+1. **Engine throughput** — the shared-frontier ``BatchSearchEngine``
+   sustains at least ``VISITS_SPEEDUP_FLOOR`` x the sequential
+   ``RStarTree.search`` visit rate on the same query stream, while
+   returning bit-identical per-query results (asserted, not assumed).
+2. **Offloaded batching** — an ``rdma-offloading-multi`` run with
+   ``batch_queries`` grouping outperforms the sequential run of the
+   same workload: the shared traversal reads each frontier chunk once
+   per group instead of once per query.
+3. **Fallback** — with the pure-Python kernel forced, the engine still
+   returns oracle-identical results (no throughput floor: the fallback
+   is a correctness path, not a fast path).
+
+Usable both ways::
+
+    PYTHONPATH=src python benchmarks/bench_batch_search.py [--smoke]
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_search.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import ExperimentConfig, run_experiment
+from repro.perfbench import bench_search_visits, bench_search_visits_batched
+from repro.rtree import forced_kernel, kernel_name
+
+#: Batched visits/s must beat sequential by at least this factor.
+VISITS_SPEEDUP_FLOOR = 2.0
+#: Batched end-to-end throughput must beat sequential by this factor.
+E2E_SPEEDUP_FLOOR = 1.2
+
+
+def run_engine_stage(smoke: bool = False) -> dict:
+    """Sequential vs batched visit rate over the same tree + queries."""
+    dataset = 20_000 if smoke else 40_000
+    queries = 6_000 if smoke else 10_000
+    sequential = bench_search_visits(dataset, queries, repeats=3)
+    batched = bench_search_visits_batched(dataset, queries, repeats=3)
+    assert batched["matches"] == sequential["matches"], "result divergence"
+    assert batched["visits"] == sequential["visits"], "visit divergence"
+    return {
+        "kernel": kernel_name(),
+        "sequential_visits_per_s": sequential["visits_per_s"],
+        "batched_visits_per_s": batched["visits_per_s"],
+        "speedup": batched["visits_per_s"] / sequential["visits_per_s"],
+        "batch_size": batched["batch_size"],
+        "amortization": batched["visits"] / max(1, batched["shared_visits"]),
+    }
+
+
+def run_e2e_stage(smoke: bool = False) -> dict:
+    """Offload scheme with and without driver-level query batching."""
+    rows = {}
+    for label, batch_queries in (("off", 0), ("on", 8)):
+        config = ExperimentConfig(
+            scheme="rdma-offloading-multi",
+            fabric="ib-100g",
+            n_clients=4,
+            requests_per_client=64 if smoke else 200,
+            workload_kind="search",
+            scale="0.01",
+            dataset_size=4_000 if smoke else 20_000,
+            batch_queries=batch_queries,
+            seed=0,
+        )
+        result = run_experiment(config)
+        metrics = result.metrics["metrics"]
+        rows[label] = {
+            "throughput_kops": result.throughput_kops,
+            "results": metrics["client.results_received"]["value"],
+            "chunks_fetched": metrics["offload.chunks_fetched"]["value"],
+        }
+    rows["speedup"] = (rows["on"]["throughput_kops"]
+                       / rows["off"]["throughput_kops"])
+    return rows
+
+
+def run_fallback_stage(smoke: bool = False) -> dict:
+    """The pure-Python kernel returns the same matches and visit counts."""
+    dataset = 5_000 if smoke else 20_000
+    queries = 500 if smoke else 2_000
+    with forced_kernel("python"):
+        assert kernel_name() == "python"
+        sequential = bench_search_visits(dataset, queries)
+        batched = bench_search_visits_batched(dataset, queries)
+    assert batched["matches"] == sequential["matches"], "fallback divergence"
+    assert batched["visits"] == sequential["visits"], "fallback divergence"
+    return {"matches": batched["matches"], "visits": batched["visits"]}
+
+
+def check(engine: dict, e2e: dict) -> None:
+    assert engine["speedup"] >= VISITS_SPEEDUP_FLOOR, engine
+    assert e2e["speedup"] >= E2E_SPEEDUP_FLOOR, e2e
+    # Same workload, same seed: batching must not change what is served.
+    assert e2e["on"]["results"] == e2e["off"]["results"], e2e
+    assert e2e["on"]["chunks_fetched"] < e2e["off"]["chunks_fetched"], e2e
+
+
+def test_batched_search_floors():
+    engine = run_engine_stage(smoke=True)
+    e2e = run_e2e_stage(smoke=True)
+    run_fallback_stage(smoke=True)
+    check(engine, e2e)
+
+
+def main(argv) -> int:
+    smoke = "--smoke" in argv[1:]
+    engine = run_engine_stage(smoke=smoke)
+    print(f"engine ({engine['kernel']} kernel, "
+          f"Q={engine['batch_size']}/group):")
+    print(f"  sequential {engine['sequential_visits_per_s']:>12,.0f} visits/s")
+    print(f"  batched    {engine['batched_visits_per_s']:>12,.0f} visits/s "
+          f"({engine['speedup']:.2f}x, floor {VISITS_SPEEDUP_FLOOR:.1f}x; "
+          f"{engine['amortization']:.1f} queries/shared visit)")
+    e2e = run_e2e_stage(smoke=smoke)
+    print("end-to-end rdma-offloading-multi:")
+    for label in ("off", "on"):
+        row = e2e[label]
+        print(f"  batching {label:>3}: {row['throughput_kops']:>8.0f} Kops, "
+              f"{row['chunks_fetched']:>8} chunk reads")
+    print(f"  speedup: {e2e['speedup']:.2f}x (floor {E2E_SPEEDUP_FLOOR:.1f}x)")
+    fallback = run_fallback_stage(smoke=smoke)
+    print(f"fallback kernel: {fallback['matches']} matches / "
+          f"{fallback['visits']} visits, oracle-identical")
+    check(engine, e2e)
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

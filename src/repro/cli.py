@@ -45,6 +45,10 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                         help="Algorithm 1 back-off base N")
     parser.add_argument("--adaptive-t", type=float, default=0.95,
                         help="Algorithm 1 busy threshold T")
+    parser.add_argument("--batch-queries", type=int, default=0,
+                        help="group up to N consecutive searches into one "
+                             "shared offload traversal (0 = off, the "
+                             "fingerprint-pinned default)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--metrics-out", metavar="PATH", default=None,
                         help="write the catfish-metrics/v1 JSON snapshot "
@@ -69,6 +73,7 @@ def _config_from(args, scheme: str) -> ExperimentConfig:
         adaptive=AdaptiveParams(N=args.adaptive_n, T=args.adaptive_t,
                                 Inv=heartbeat),
         seed=args.seed,
+        batch_queries=getattr(args, "batch_queries", 0),
         collect_timeline=getattr(args, "timeline", False),
         trace=getattr(args, "trace", False),
         n_shards=getattr(args, "shards", None),

@@ -36,6 +36,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from ..obs.registry import Counter, MetricsRegistry
 from ..obs.trace import NULL_SPAN, NULL_TRACER
+from ..rtree import batch as _batch
 from ..rtree.geometry import Rect
 from ..rtree.serialize import NodeView, view_from_bytes
 from ..rtree.versioning import validate_snapshot
@@ -308,6 +309,182 @@ class OffloadEngine:
         matches = yield from self.search(query)
         return len(matches)
 
+    # -- batched search ------------------------------------------------------
+
+    def search_batch(self, queries: List[Rect]) -> Generator:
+        """One shared one-sided traversal for a group of range queries.
+
+        Returns one match list per query, set-identical to running
+        :meth:`search` once per query (ordering follows the shared
+        frontier: level wave by level wave, nodes in discovery order).
+        The amortization is the point: each tree node of interest is
+        fetched **once per batch** — one RDMA Read (or one cache hit)
+        serves every query that reaches the node — and each wave's
+        misses go out pipelined (doorbell-batched when the cache's
+        single-flight table is attached).  One meta read validates the
+        whole batch; any stale root / torn-read failure restarts the
+        whole batch, mirroring :meth:`search`.
+        """
+        n = len(queries)
+        self.stats.offloaded_requests += n
+        if n == 0:
+            return []
+        span = self._span = self.tracer.span("offload", "search_batch")
+        ended = False
+        error: Optional[str] = None
+        try:
+            for _restart in range(self.max_search_restarts):
+                results = yield from self._batch_attempt(queries)
+                if results is not None:
+                    total = sum(len(r) for r in results)
+                    self.stats.results_received += total
+                    span.end(restarts=_restart, queries=n, results=total)
+                    ended = True
+                    return results
+                self.stats.search_restarts += 1
+                span.annotate("restart", attempt=_restart + 1)
+            error = "restarts-exhausted"
+            raise OffloadError(
+                f"search_batch did not complete after "
+                f"{self.max_search_restarts} restarts"
+            )
+        except BaseException as exc:
+            if error is None:
+                error = type(exc).__name__
+            raise
+        finally:
+            self._span = NULL_SPAN
+            if not ended:
+                span.end(error=error if error is not None else "unknown")
+
+    def _batch_attempt(self, queries: List[Rect]) -> Generator:
+        """One batched traversal attempt; None => restart the batch.
+
+        The meta read is sequential (as in the single-issue path), so
+        the mutation high-water mark is synchronized before any cache
+        hit is served — hits are exact as of batch start, no mid-flight
+        stale-abort bookkeeping needed.
+        """
+        meta = yield from self._read_meta()
+        self._apply_meta(meta)
+        self._note_meta_hwm(meta)
+        qb = _batch.QueryBatch(queries)
+        results: List[List[Tuple[Rect, int]]] = [[] for _ in queries]
+        frontier = [(self._cached_root, self._cached_height - 1, qb.all_sel)]
+        while frontier:
+            views = yield from self._fetch_round(
+                [(chunk_id, level) for chunk_id, level, _q in frontier]
+            )
+            if views is None:
+                return None
+            next_frontier = []
+            for (chunk_id, level, qsel), view in zip(frontier, views):
+                # One node check serves the whole interest set — the
+                # (Q x E) matrix below is a single kernel evaluation.
+                yield self.sim.timeout(self._check_cost())
+                entries = view.entries
+                count = len(entries)
+                source = _batch.view_scan_source(view)
+                if view.is_leaf:
+                    qlist = _batch.QueryBatch.sel_list(qsel)
+                    gete = entries.__getitem__
+                    for row, ent_idxs in _batch.batch_leaf_hits(
+                        source, count, qb, qsel
+                    ):
+                        results[qlist[row]].extend(map(gete, ent_idxs))
+                else:
+                    for e_idx, sub in _batch.batch_child_sets(
+                        source, count, qb, qsel
+                    ):
+                        next_frontier.append(
+                            (entries[e_idx][1], level - 1, sub)
+                        )
+            frontier = next_frontier
+        return results
+
+    def _fetch_round(self, pairs: List[Tuple[int, int]]) -> Generator:
+        """Fetch one frontier wave; list of views, or None on any failure.
+
+        Cache hits are served locally, chunks already in flight join the
+        leader single-flight, and the remaining misses are posted
+        concurrently — through one doorbell when ≥2 and the single-
+        flight table exists (cache attached), else as pipelined
+        individual reads (multi-issue) or sequentially (single-issue).
+        Chunk ids within a wave are distinct by construction: every tree
+        node hangs off exactly one parent entry, and merged interest
+        sets mean each parent was expanded once.
+        """
+        views: List[Optional[NodeView]] = [None] * len(pairs)
+        span = self._span
+        cache = self.cache
+        if not self.multi_issue:
+            for i, (chunk_id, level) in enumerate(pairs):
+                view: Optional[NodeView] = None
+                if cache is not None and level > 0:
+                    view = cache.lookup(chunk_id)
+                    if view is not None:
+                        span.annotate("cache_hit", chunk=chunk_id,
+                                      level=level)
+                if view is None:
+                    view = yield from self._read_valid(chunk_id, level)
+                if view is None:
+                    return None
+                views[i] = view
+            return views
+
+        arrived: Store = Store(self.sim)
+        inflight = 0
+
+        def fetch(i: int, chunk_id: int, level: int,
+                  first_read=None) -> Generator:
+            view = yield from self._read_valid(chunk_id, level, first_read)
+            arrived.put((i, view))
+
+        inflight_reads = self._inflight_reads
+        to_post: List[Tuple[int, int, int]] = []
+        for i, (chunk_id, level) in enumerate(pairs):
+            view = None
+            if cache is not None and level > 0:
+                view = cache.lookup(chunk_id)
+            if view is not None:
+                span.annotate("cache_hit", chunk=chunk_id, level=level)
+                views[i] = view
+            elif inflight_reads is not None and chunk_id in inflight_reads:
+                # Single-flight: _read_valid's fetch joins the leader.
+                inflight += 1
+                self.sim.process(fetch(i, chunk_id, level),
+                                 name="batch-read")
+            else:
+                to_post.append((i, chunk_id, level))
+        if len(to_post) >= 2 and inflight_reads is not None:
+            events = self.qp.post_read_batch([
+                (self.desc.tree_rkey, self._chunk_address(chunk_id),
+                 self.desc.chunk_bytes)
+                for _i, chunk_id, _level in to_post
+            ])
+            for (i, chunk_id, level), event in zip(to_post, events):
+                inflight_reads[chunk_id] = []
+                self.chunks_fetched += 1
+                inflight += 1
+                self.sim.process(
+                    fetch(i, chunk_id, level, first_read=event),
+                    name="batch-read",
+                )
+        else:
+            for i, chunk_id, level in to_post:
+                inflight += 1
+                self.sim.process(fetch(i, chunk_id, level),
+                                 name="batch-read")
+        failed = False
+        while inflight:
+            i, view = yield arrived.get()
+            inflight -= 1
+            if view is None:
+                failed = True
+            else:
+                views[i] = view
+        return None if failed else views
+
     def nearest(self, x: float, y: float, k: int = 1) -> Generator:
         """Offloaded kNN: best-first branch-and-bound over one-sided reads.
 
@@ -354,8 +531,8 @@ class OffloadEngine:
                         failed = True
                         break
                     yield self.sim.timeout(self._check_cost())
-                    for rect, ref in view.entries:
-                        dist = rect.min_dist2_point(x, y)
+                    dists = _batch.view_min_dist2(view, x, y)
+                    for (rect, ref), dist in zip(view.entries, dists):
                         if view.is_leaf:
                             heapq.heappush(heap, (dist, next(counter),
                                                   "entry", (rect, ref)))

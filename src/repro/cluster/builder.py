@@ -29,8 +29,9 @@ from ..runtime.factory import SessionFactory
 from ..runtime.stack import ServerStack
 from ..sim.kernel import Simulator, all_of
 from ..sim.rng import RngRegistry
+from ..rtree import batch as _scan_kernel
 from ..workloads.datasets import uniform_dataset
-from ..workloads.mixes import make_workload
+from ..workloads.mixes import batch_runs, make_workload
 from .config import ExperimentConfig
 from .results import RunResult, merge_client_stats
 from .schemes import TRANSPORT_TCP, scheme_spec
@@ -43,8 +44,35 @@ def _client_driver(
     stats: ClientStats,
     injector: FaultInjector = None,
     client_id: int = 0,
+    batch_queries: int = 0,
 ) -> Generator:
-    """One synchronous client: issue every request back-to-back."""
+    """One synchronous client: issue every request back-to-back.
+
+    With ``batch_queries`` > 1 and a batch-capable session, runs of
+    consecutive searches are grouped (``workloads.mixes.batch_runs``)
+    and issued as one shared traversal; every request in a group
+    records the group's wall time as its latency — that is how long the
+    synchronous client actually waited for it.
+    """
+    batch_exec = getattr(session, "execute_search_batch", None)
+    if batch_queries > 1 and batch_exec is not None:
+        for group in batch_runs(requests, batch_queries):
+            if injector is not None:
+                stall = injector.client_stall(client_id)
+                if stall > 0.0:
+                    yield sim.timeout(stall)
+            start = sim.now
+            if len(group) == 1:
+                yield from session.execute(group[0])
+            else:
+                yield from batch_exec(group)
+            elapsed = sim.now - start
+            for request in group:
+                stats.requests_sent += 1
+                stats.latency.record(elapsed)
+                if request.op == OP_SEARCH:
+                    stats.search_latency.record(elapsed)
+        return
     for request in requests:
         if injector is not None:
             stall = injector.client_stall(client_id)
@@ -202,6 +230,13 @@ class ExperimentRunner:
         if self.injector is not None:
             self.injector.register_metrics(m)
 
+        # Which scan kernel the whole run (server tree + offload views)
+        # is using: 1 = numpy broadcasts, 0 = the pure-Python fallback.
+        m.expose(
+            "rtree.scan_kernel_numpy",
+            lambda: 1 if _scan_kernel.kernel_name() == "numpy" else 0,
+        )
+
         stats_list = self.client_stats
         for field in CLIENT_COUNTER_FIELDS:
             m.expose(
@@ -274,7 +309,8 @@ class ExperimentRunner:
             driver = self.sim.process(
                 _client_driver(self.sim, session, requests, stats,
                                injector=self.injector,
-                               client_id=client_id),
+                               client_id=client_id,
+                               batch_queries=config.batch_queries),
                 name=f"client-{client_id}",
             )
             self.client_stats.append(stats)

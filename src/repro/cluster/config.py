@@ -55,6 +55,15 @@ class ExperimentConfig:
     #: routes the run through ``repro.shard.deploy``.
     n_shards: Optional[int] = None
 
+    #: Batched reads: group up to this many consecutive searches of a
+    #: client's stream into one shared offload traversal
+    #: (``OffloadEngine.search_batch``).  0/1 disables batching — the
+    #: default, on which all scheme and chaos golden fingerprints are
+    #: pinned.  Sessions without a batch-capable engine (TCP,
+    #: fast-messaging-only, the sharded router) silently degrade to
+    #: sequential execution.
+    batch_queries: int = 0
+
     seed: int = 0
 
     # Robustness (all default-off; see docs/robustness.md).
@@ -107,6 +116,10 @@ class ExperimentConfig:
             raise ValueError(f"unknown workload {self.workload_kind!r}")
         if self.n_shards is not None and self.n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.batch_queries < 0:
+            raise ValueError(
+                f"batch_queries must be >= 0, got {self.batch_queries}"
+            )
         if self.adaptive is None:
             self.adaptive = AdaptiveParams(Inv=self.heartbeat_interval)
 

@@ -187,6 +187,63 @@ def bench_search_visits(dataset_size: int,
             "wall_s": wall, "visits_per_s": visits / wall}
 
 
+#: Queries per shared-frontier group in the batched search stage.  The
+#: amortization factor is bounded by (group size x visits-per-query) /
+#: tree size, so the group must be deep enough for queries to overlap;
+#: 4096 over the 40k-item small tree revisits each hot node ~25x fewer
+#: times than sequential search does.
+BATCH_GROUP_SIZE = 4096
+
+
+def bench_search_visits_batched(dataset_size: int,
+                                n_queries: int,
+                                repeats: int = 1,
+                                batch_size: int = BATCH_GROUP_SIZE
+                                ) -> Dict[str, float]:
+    """The same scans through the cross-query batch engine.
+
+    Identical tree, identical query stream, identical per-query results
+    (asserted); ``visits`` counts the same per-query node visits as the
+    sequential stage, so visits/s is directly comparable — the batch
+    engine's whole advantage is doing those visits as shared (Q x E)
+    matrix evaluations, each tree node scanned once per group.
+    """
+    from .rtree.batch import BatchSearchEngine
+    from .rtree.bulk import bulk_load
+    from .rtree.geometry import Rect
+    from .sim.rng import RngRegistry
+    from .workloads.datasets import uniform_dataset
+
+    items = uniform_dataset(dataset_size, seed=0)
+    tree = bulk_load(items)
+    rng = RngRegistry(0).stream("perf-search")
+    side = 0.02
+    queries = []
+    for _ in range(n_queries):
+        cx = rng.uniform(side, 1.0 - side)
+        cy = rng.uniform(side, 1.0 - side)
+        queries.append(Rect(cx - side / 2, cy - side / 2,
+                            cx + side / 2, cy + side / 2))
+    groups = [queries[i:i + batch_size]
+              for i in range(0, len(queries), batch_size)]
+    wall = None
+    for _ in range(max(1, repeats)):
+        engine = BatchSearchEngine(tree)
+        visits = 0
+        matches = 0
+        start = time.perf_counter()
+        for group in groups:
+            for result in engine.search_batch(group):
+                visits += result.nodes_visited
+                matches += result.count
+        elapsed = time.perf_counter() - start
+        wall = elapsed if wall is None else min(wall, elapsed)
+    return {"queries": n_queries, "batch_size": batch_size,
+            "visits": visits, "matches": matches,
+            "shared_visits": engine.shared_visits,
+            "wall_s": wall, "visits_per_s": visits / wall}
+
+
 # -- end-to-end Fig-10-shaped run --------------------------------------------
 
 
@@ -320,9 +377,27 @@ def run_perf(scale: Optional[str] = None,
                                  repeats=repeats)
     log(f"[perf] search: {search['visits_per_s']:,.0f} visits/s "
         f"({search['wall_s']:.2f}s)")
+    from .rtree.batch import kernel_name
+    batched = bench_search_visits_batched(params["dataset_size"],
+                                          params["search_queries"],
+                                          repeats=repeats)
+    if batched["matches"] != search["matches"] or (
+            batched["visits"] != search["visits"]):
+        raise AssertionError(
+            "batched search diverged from sequential: "
+            f"{batched['matches']}/{batched['visits']} != "
+            f"{search['matches']}/{search['visits']}"
+        )
+    log(f"[perf] search_batched: {batched['visits_per_s']:,.0f} visits/s "
+        f"({batched['wall_s']:.2f}s, Q={batched['batch_size']}, "
+        f"kernel={kernel_name()}, "
+        f"{batched['visits'] / max(1, batched['shared_visits']):.1f} "
+        f"queries/shared visit)")
     return {
         "kernel_events_per_s": kernel["events_per_s"],
         "search_visits_per_s": search["visits_per_s"],
+        "search_batched_visits_per_s": batched["visits_per_s"],
+        "scan_kernel": kernel_name(),
         "end_to_end": e2e,
         "repeats": repeats,
         "total_wall_s": time.perf_counter() - total_start,
@@ -331,7 +406,7 @@ def run_perf(scale: Optional[str] = None,
 
 def _speedups(baseline: Dict[str, Any],
               current: Dict[str, Any]) -> Dict[str, float]:
-    return {
+    out = {
         "kernel": (current["kernel_events_per_s"]
                    / baseline["kernel_events_per_s"]),
         "search": (current["search_visits_per_s"]
@@ -339,6 +414,14 @@ def _speedups(baseline: Dict[str, Any],
         "end_to_end": (baseline["end_to_end"]["wall_s"]
                        / current["end_to_end"]["wall_s"]),
     }
+    # The batched trajectory appeared after the baseline was captured;
+    # compare against the baseline's *sequential* rate (the honest
+    # question: how much faster is a batch-capable run than the old
+    # per-query scans), guarding older artifacts.
+    if "search_batched_visits_per_s" in current:
+        out["search_batched"] = (current["search_batched_visits_per_s"]
+                                 / baseline["search_visits_per_s"])
+    return out
 
 
 def write_perf_json(path: str, run: Dict[str, Any], scale: str,
@@ -365,10 +448,13 @@ def write_perf_json(path: str, run: Dict[str, Any], scale: str,
         doc["current"] = run
     if doc.get("baseline") and doc.get("current"):
         doc["speedup"] = _speedups(doc["baseline"], doc["current"])
+        batched = doc["speedup"].get("search_batched")
         log(f"[perf] speedup vs baseline: "
             f"kernel {doc['speedup']['kernel']:.2f}x, "
             f"search {doc['speedup']['search']:.2f}x, "
-            f"end-to-end {doc['speedup']['end_to_end']:.2f}x")
+            + (f"search-batched {batched:.2f}x, "
+               if batched is not None else "")
+            + f"end-to-end {doc['speedup']['end_to_end']:.2f}x")
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,5 +1,13 @@
 """The R\\*-tree and its concurrency/serialization machinery."""
 
+from .batch import (
+    HAVE_NUMPY,
+    BatchSearchEngine,
+    QueryBatch,
+    forced_kernel,
+    kernel_name,
+    set_kernel,
+)
 from .bulk import bulk_load
 from .geometry import Rect
 from .locks import RWLock, TreeLockManager
@@ -24,6 +32,12 @@ from .versioning import (
 )
 
 __all__ = [
+    "HAVE_NUMPY",
+    "BatchSearchEngine",
+    "QueryBatch",
+    "forced_kernel",
+    "kernel_name",
+    "set_kernel",
     "bulk_load",
     "Rect",
     "RWLock",

@@ -60,6 +60,10 @@ class Node:
         "mut_seq",
         "_coords",
         "_coords_ok",
+        "_npcols",
+        "_np_seq",
+        "_payload",
+        "_payload_seq",
     )
 
     def __init__(self, level: int, chunk_id: int = -1):
@@ -86,6 +90,18 @@ class Node:
         #: ``entry.rect`` per entry.  Rebuilt lazily via ``scan_coords()``.
         self._coords: List[float] = []
         self._coords_ok = False
+        #: Numpy column mirror (minx/miny/maxx/maxy arrays) built on demand
+        #: by ``repro.rtree.batch.node_columns`` and keyed on ``mut_seq``
+        #: via ``_np_seq`` — no extra invalidation sites needed, any
+        #: mutation that bumps ``mut_seq`` implicitly stales it.
+        self._npcols = None
+        self._np_seq = -1
+        #: Per-entry ``(rect, data_id)`` match payloads for leaves, built
+        #: by ``repro.rtree.batch.node_leaf_payload`` and keyed on
+        #: ``mut_seq`` the same way, so the batched scatter appends
+        #: prebuilt tuples instead of touching ``Entry`` per hit.
+        self._payload = None
+        self._payload_seq = -1
 
     def invalidate(self) -> None:
         """Drop derived caches after a mutation (and bump ``mut_seq``).

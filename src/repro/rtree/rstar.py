@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from . import batch as _batch
 from .geometry import Rect
 from .node import DEFAULT_MAX_ENTRIES, Entry, Node, min_entries
 
@@ -132,14 +133,17 @@ class RStarTree:
     def search(self, query: Rect) -> SearchResult:
         """All data ids whose rectangles intersect ``query``.
 
-        The per-entry test scans each node's flat coordinate cache
-        (``Node.scan_coords``) instead of calling ``Rect.intersects``
-        per entry; same closed-interval predicate, same entry order,
-        same results — see ``search_via_rects`` for the reference loop.
+        The per-entry test goes through the shared scan kernel
+        (``repro.rtree.batch.node_scan_indices``): one numpy broadcast
+        over the node's coordinate mirror, or the flat-list loop when
+        numpy is absent.  Same closed-interval predicate, same entry
+        order, same results either way — see ``search_via_rects`` for
+        the reference loop.
         """
         result = SearchResult()
         matches = result.matches
         visited_chunks = result.visited_chunks
+        scan = _batch.node_scan_indices
         qminx, qminy = query.minx, query.miny
         qmaxx, qmaxy = query.maxx, query.maxy
         nodes_visited = 0
@@ -150,32 +154,28 @@ class RStarTree:
             node = stack.pop()
             nodes_visited += 1
             visited_chunks.append(node.chunk_id)
-            coords = node._coords if node._coords_ok else node.scan_coords()
-            i = 0
+            entries = node.entries
+            hits = scan(node, qminx, qminy, qmaxx, qmaxy)
             if node.level == 0:
                 leaf_nodes_visited += 1
-                for entry in node.entries:
-                    if (
-                        coords[i] <= qmaxx
-                        and coords[i + 2] >= qminx
-                        and coords[i + 1] <= qmaxy
-                        and coords[i + 3] >= qminy
-                    ):
-                        matches.append((entry.rect, entry.data_id))
-                    i += 4
+                for j in hits:
+                    entry = entries[j]
+                    matches.append((entry.rect, entry.data_id))
             else:
-                for entry in node.entries:
-                    if (
-                        coords[i] <= qmaxx
-                        and coords[i + 2] >= qminx
-                        and coords[i + 1] <= qmaxy
-                        and coords[i + 3] >= qminy
-                    ):
-                        push(entry.child)
-                    i += 4
+                for j in hits:
+                    push(entries[j].child)
         result.nodes_visited = nodes_visited
         result.leaf_nodes_visited = leaf_nodes_visited
         return result
+
+    def search_batch(self, queries) -> List[SearchResult]:
+        """Batched search: one shared traversal for a group of queries.
+
+        Convenience wrapper over :class:`repro.rtree.batch
+        .BatchSearchEngine`; per-query results are identical to calling
+        :meth:`search` once per query.
+        """
+        return _batch.BatchSearchEngine(self).search_batch(queries)
 
     def search_via_rects(self, query: Rect) -> SearchResult:
         """Reference search: per-entry ``Rect.intersects``, no scan cache.
@@ -226,18 +226,15 @@ class RStarTree:
                 continue
             result.nodes_visited += 1
             result.visited_chunks.append(node.chunk_id)
+            dists = _batch.node_min_dist2(node, x, y)
             if node.is_leaf:
                 result.leaf_nodes_visited += 1
-                for leaf_entry in node.entries:
-                    heapq.heappush(heap, (
-                        leaf_entry.rect.min_dist2_point(x, y),
-                        next(counter), None, leaf_entry,
-                    ))
+                for leaf_entry, d in zip(node.entries, dists):
+                    heapq.heappush(heap, (d, next(counter), None, leaf_entry))
             else:
-                for child_entry in node.entries:
+                for child_entry, d in zip(node.entries, dists):
                     heapq.heappush(heap, (
-                        child_entry.rect.min_dist2_point(x, y),
-                        next(counter), child_entry.child, None,
+                        d, next(counter), child_entry.child, None,
                     ))
         return result
 

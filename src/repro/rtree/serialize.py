@@ -23,6 +23,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from . import batch as _batch
 from .geometry import Rect
 from .node import DEFAULT_MAX_ENTRIES, Node
 
@@ -147,6 +148,11 @@ class NodeView:
     _coords: Optional[List[float]] = field(
         default=None, repr=False, compare=False
     )
+    #: lazy numpy column mirror (minx/miny/maxx/maxy arrays), built at
+    #: most once per view by ``repro.rtree.batch.view_columns``
+    _npcols: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_leaf(self) -> bool:
@@ -166,40 +172,28 @@ class NodeView:
         return coords
 
     def intersecting_refs(self, query: Rect) -> List[int]:
-        """Child chunk ids (or data ids at leaves) intersecting ``query``."""
-        coords = self._coords
-        if coords is None:
-            coords = self.scan_coords()
-        qminx = query.minx
-        qminy = query.miny
-        qmaxx = query.maxx
-        qmaxy = query.maxy
-        out: List[int] = []
-        i = 0
-        for entry in self.entries:
-            if (coords[i] <= qmaxx and coords[i + 2] >= qminx
-                    and coords[i + 1] <= qmaxy and coords[i + 3] >= qminy):
-                out.append(entry[1])
-            i += 4
-        return out
+        """Child chunk ids (or data ids at leaves) intersecting ``query``.
+
+        Routed through the shared scan kernel (one numpy broadcast over
+        the view's column mirror, or the flat-list fallback loop).
+        """
+        entries = self.entries
+        return [
+            entries[j][1]
+            for j in _batch.view_scan_indices(
+                self, query.minx, query.miny, query.maxx, query.maxy
+            )
+        ]
 
     def intersecting_entries(self, query: Rect) -> List[Tuple[Rect, int]]:
         """The ``(mbr, ref)`` pairs intersecting ``query`` (leaf matches)."""
-        coords = self._coords
-        if coords is None:
-            coords = self.scan_coords()
-        qminx = query.minx
-        qminy = query.miny
-        qmaxx = query.maxx
-        qmaxy = query.maxy
-        out: List[Tuple[Rect, int]] = []
-        i = 0
-        for entry in self.entries:
-            if (coords[i] <= qmaxx and coords[i + 2] >= qminx
-                    and coords[i + 1] <= qmaxy and coords[i + 3] >= qminy):
-                out.append(entry)
-            i += 4
-        return out
+        entries = self.entries
+        return [
+            entries[j]
+            for j in _batch.view_scan_indices(
+                self, query.minx, query.miny, query.maxx, query.maxy
+            )
+        ]
 
 
 def pack_node_torn(node: Node, max_entries: int = DEFAULT_MAX_ENTRIES,

@@ -182,6 +182,35 @@ def query_stream(queries: Sequence[Rect], rng: random.Random,
     ]
 
 
+def batch_runs(requests: Sequence[Request], batch_size: int):
+    """Group consecutive searches into batches of up to ``batch_size``.
+
+    Yields request groups preserving program order: runs of
+    ``OP_SEARCH`` are chunked into batch-sized groups for the batched
+    read path; every other op rides alone, so writes (and the reads
+    after them) keep their ordering relative to the searches around
+    them — a batch never spans a write.
+    """
+    if batch_size < 2:
+        for request in requests:
+            yield [request]
+        return
+    run: List[Request] = []
+    for request in requests:
+        if request.op == OP_SEARCH:
+            run.append(request)
+            if len(run) == batch_size:
+                yield run
+                run = []
+        else:
+            if run:
+                yield run
+                run = []
+            yield [request]
+    if run:
+        yield run
+
+
 WorkloadFn = Callable[[int, random.Random], List[Request]]
 
 

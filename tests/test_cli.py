@@ -242,10 +242,13 @@ class TestPerfSubcommand:
         run = doc["current"]
         assert run["kernel_events_per_s"] > 0
         assert run["search_visits_per_s"] > 0
+        assert run["search_batched_visits_per_s"] > 0
+        assert run["scan_kernel"] in ("numpy", "python")
         assert set(run["end_to_end"]["points"]) == {"adaptive", "offload"}
         # Recording a baseline afterwards fills in the speedup block.
         assert main(["perf", "--out", str(out), "--scale", "small",
                      "--repeats", "1", "--baseline"]) == 0
         doc = json.loads(out.read_text())
         assert doc["baseline"] is not None
-        assert set(doc["speedup"]) == {"kernel", "search", "end_to_end"}
+        assert set(doc["speedup"]) == {"kernel", "search", "search_batched",
+                                       "end_to_end"}

@@ -242,3 +242,85 @@ class TestFlatScanEquivalence:
         oracle = tree.search_via_rects(query)
         assert fast.matches == oracle.matches
         assert fast.visited_chunks == oracle.visited_chunks
+
+
+class TestBatchKernelEquivalence:
+    """The vectorized scan kernels and the cross-query batch engine
+    must be bit-identical to sequential search under every kernel."""
+
+    _coord = st.floats(0.0, 1.0, allow_nan=False, width=32)
+
+    @staticmethod
+    def _kernels():
+        from repro.rtree.batch import HAVE_NUMPY
+
+        return ("python", "auto", "numpy") if HAVE_NUMPY else ("python",)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(_rects(_coord), min_size=1, max_size=250),
+        st.lists(_rects(_coord), min_size=0, max_size=13),
+        st.booleans(),
+    )
+    def test_batch_engine_equals_sequential_oracle(
+        self, rects, queries, duplicate_first
+    ):
+        """Random batch sizes (including empty) and overlapping query
+        groups: per-query batched results — matches in order, visited
+        chunks, visit counters — equal ``search_via_rects``."""
+        from repro.rtree import BatchSearchEngine, forced_kernel
+
+        if duplicate_first and queries:
+            queries = queries + [queries[0]]  # identical windows share
+        tree = bulk_load([(rect, i) for i, rect in enumerate(rects)])
+        for kernel in self._kernels():
+            with forced_kernel(kernel):
+                results = BatchSearchEngine(tree).search_batch(queries)
+            assert len(results) == len(queries)
+            for query, got in zip(queries, results):
+                oracle = tree.search_via_rects(query)
+                assert got.matches == oracle.matches, kernel
+                assert got.visited_chunks == oracle.visited_chunks, kernel
+                assert got.nodes_visited == oracle.nodes_visited, kernel
+                assert (got.leaf_nodes_visited
+                        == oracle.leaf_nodes_visited), kernel
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(_rects(_coord), min_size=1, max_size=300),
+        _rects(_coord),
+    )
+    def test_vectorized_single_scan_equals_python_loop(self, rects, query):
+        """The forced-numpy single-query broadcast and the fallback loop
+        agree with the oracle on the same tree."""
+        from repro.rtree import forced_kernel
+        from repro.rtree.batch import HAVE_NUMPY
+
+        tree = bulk_load([(rect, i) for i, rect in enumerate(rects)])
+        oracle = tree.search_via_rects(query)
+        kernels = ("python", "numpy") if HAVE_NUMPY else ("python",)
+        for kernel in kernels:
+            with forced_kernel(kernel):
+                got = tree.search(query)
+            assert got.matches == oracle.matches, kernel
+            assert got.visited_chunks == oracle.visited_chunks, kernel
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(_rects(_coord), min_size=1, max_size=200),
+        st.floats(0.0, 1.0, allow_nan=False, width=32),
+        st.floats(0.0, 1.0, allow_nan=False, width=32),
+    )
+    def test_nearest_agrees_across_kernels(self, rects, x, y):
+        """kNN MINDIST pruning returns the same neighbor under the
+        numpy and python kernels."""
+        from repro.rtree import forced_kernel
+        from repro.rtree.batch import HAVE_NUMPY
+
+        tree = bulk_load([(rect, i) for i, rect in enumerate(rects)])
+        answers = []
+        kernels = ("python", "numpy") if HAVE_NUMPY else ("python",)
+        for kernel in kernels:
+            with forced_kernel(kernel):
+                answers.append(tree.nearest(x, y))
+        assert all(a == answers[0] for a in answers)
