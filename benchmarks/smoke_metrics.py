@@ -50,10 +50,13 @@ def check_document(doc: dict) -> None:
              + metrics["client.offloaded_requests"]["value"])
     assert split == requests, (split, requests)
 
-    # Latency percentiles present, positive and ordered.
+    # Latency percentiles present, positive and ordered, and the
+    # histogram carries its driver-loop tag (closed-loop drivers here;
+    # the traffic layer emits "open" sojourn histograms).
     lat = metrics["client.latency_us"]
     assert lat["count"] == requests
-    assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"], lat
+    assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["p999"], lat
+    assert lat["loop"] == "closed", lat
 
     # Heartbeat stats: the service ran and clients consumed beats.
     assert metrics["heartbeat.beats_sent"]["value"] > 0

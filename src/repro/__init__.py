@@ -17,7 +17,10 @@ simulation substrate (see DESIGN.md for the substitution rationale):
   partitioning, the scatter-gather spatial router with partial-failure
   semantics, and oracle verification (see docs/architecture.md);
 * :mod:`repro.obs` — metrics registry, trace spans and JSON export
-  (see docs/observability.md).
+  (see docs/observability.md);
+* :mod:`repro.traffic` — open-loop million-user traffic: aggregated
+  clients, connection multiplexing, tail-latency-under-load harness
+  (see docs/architecture.md, traffic layer).
 
 Quickstart::
 
@@ -73,6 +76,13 @@ from .server import (
     TcpRTreeServer,
 )
 from .sim import Simulator
+from .traffic import TrafficConfig
+from .traffic.harness import (
+    TrafficResult,
+    TrafficRunner,
+    rate_sweep,
+    run_traffic,
+)
 from .workloads import (
     generate_rea02,
     generate_rea02_queries,
@@ -117,6 +127,11 @@ __all__ = [
     "RTreeServer",
     "TcpRTreeServer",
     "Simulator",
+    "TrafficConfig",
+    "TrafficResult",
+    "TrafficRunner",
+    "rate_sweep",
+    "run_traffic",
     "generate_rea02",
     "generate_rea02_queries",
     "make_workload",

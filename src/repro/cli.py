@@ -281,6 +281,90 @@ def cmd_shard(args) -> int:
     return 0
 
 
+def _parse_tenants(specs: Optional[List[str]]):
+    if not specs:
+        return (("default", 1.0),)
+    tenants = []
+    for spec in specs:
+        name, sep, weight = spec.partition(":")
+        if not name:
+            raise SystemExit(f"error: bad tenant spec {spec!r} "
+                             f"(want NAME or NAME:WEIGHT)")
+        tenants.append((name, float(weight) if sep else 1.0))
+    return tuple(tenants)
+
+
+def cmd_traffic(args) -> int:
+    from .cluster.schemes import TRANSPORT_TCP
+    from .traffic import TrafficConfig
+    from .traffic.harness import TrafficResult, rate_sweep, run_traffic
+
+    if SCHEMES[args.scheme].transport == TRANSPORT_TCP:
+        print(f"error: the traffic mux shares RDMA sessions; scheme "
+              f"{args.scheme!r} is TCP-based", file=sys.stderr)
+        return 2
+    if not PROFILES[args.fabric].rdma:
+        print(f"error: scheme {args.scheme!r} needs an RDMA fabric",
+              file=sys.stderr)
+        return 2
+    try:
+        traffic = TrafficConfig(
+            kind=args.kind,
+            rate=args.rate,
+            duration_s=args.duration_ms * 1e-3,
+            n_aggregates=args.aggregates,
+            users_per_aggregate=args.users_per_aggregate,
+            tenants=_parse_tenants(args.tenant),
+            window=args.window,
+            sessions=args.sessions,
+            queue_watermark=args.watermark,
+            admit_rate=args.admit_rate,
+            period_s=args.period_ms * 1e-3,
+            amplitude=args.amplitude,
+            spike_start=args.spike_start_ms * 1e-3,
+            spike_end=args.spike_end_ms * 1e-3,
+            spike_multiplier=args.spike_multiplier,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(
+        scheme=args.scheme,
+        fabric=args.fabric,
+        scale=args.scale,
+        dataset_size=args.dataset_size,
+        server_cores=args.server_cores,
+        seed=args.seed,
+        n_shards=args.shards,
+        traffic=traffic,
+    )
+    users = traffic.total_users
+    print(f"open-loop {traffic.kind} traffic: {users:,} virtual users "
+          f"over {traffic.n_aggregates} aggregates, "
+          f"{traffic.sessions} shared sessions"
+          + (f", {args.shards} shards" if args.shards else ""))
+    print(TrafficResult.header())
+    if args.rate_sweep:
+        results = rate_sweep(config, [float(r) for r in args.rate_sweep])
+    else:
+        results = [run_traffic(config)]
+    documents = []
+    for result in results:
+        print(result.row())
+        documents.append(result.metrics)
+    _write_metrics(args, documents)
+    if args.verbose:
+        last = results[-1]
+        print(f"\nusers touched: {last.users_touched:,}/{last.users_total:,}")
+        print(f"sheds: window={last.shed_window} "
+              f"watermark={last.shed_watermark} "
+              f"admission={last.shed_admission} server={last.server_shed}")
+        for name, stats in sorted(last.per_tenant.items()):
+            print(f"tenant {name}: n={stats['count']:.0f} "
+                  f"p50={stats['p50_us']:.1f}us p99={stats['p99_us']:.1f}us")
+    return 0
+
+
 def cmd_schemes(_args) -> int:
     print(f"{'scheme':>22} {'transport':>10} {'notify':>8} "
           f"{'offload':>9} {'multi':>6}")
@@ -387,6 +471,61 @@ def build_parser() -> argparse.ArgumentParser:
                               "throughput)")
     _add_common_options(p_shard)
     p_shard.set_defaults(func=cmd_shard, workload="mixed")
+
+    p_tr = sub.add_parser(
+        "traffic",
+        help="open-loop traffic: aggregated clients over a connection "
+             "mux, measuring sojourn tails and shed accounting",
+    )
+    p_tr.add_argument("--scheme", default="fast-messaging-event",
+                      choices=sorted(n for n in SCHEMES
+                                     if SCHEMES[n].transport != "tcp"))
+    p_tr.add_argument("--fabric", default="ib-100g",
+                      choices=sorted(PROFILES))
+    p_tr.add_argument("--kind", default="poisson",
+                      choices=["poisson", "diurnal", "flash-crowd"],
+                      help="arrival process")
+    p_tr.add_argument("--rate", type=float, default=100_000.0,
+                      help="offered arrivals/second (all aggregates)")
+    p_tr.add_argument("--rate-sweep", nargs="+", metavar="RATE",
+                      default=None,
+                      help="run one deployment per offered rate")
+    p_tr.add_argument("--duration-ms", type=float, default=4.0,
+                      help="offered-load window (simulated ms)")
+    p_tr.add_argument("--aggregates", type=int, default=4,
+                      help="aggregated client endpoints")
+    p_tr.add_argument("--users-per-aggregate", type=int, default=1000,
+                      help="virtual users per aggregate")
+    p_tr.add_argument("--tenant", action="append", metavar="NAME[:WEIGHT]",
+                      help="tenant mix entry (repeatable)")
+    p_tr.add_argument("--window", type=int, default=256,
+                      help="per-aggregate in-flight bound")
+    p_tr.add_argument("--sessions", type=int, default=4,
+                      help="shared sessions behind the mux")
+    p_tr.add_argument("--watermark", type=int, default=512,
+                      help="mux queue-depth shed watermark")
+    p_tr.add_argument("--admit-rate", type=float, default=None,
+                      help="token-bucket admission rate (default: off)")
+    p_tr.add_argument("--period-ms", type=float, default=2.0,
+                      help="diurnal period (simulated ms)")
+    p_tr.add_argument("--amplitude", type=float, default=0.5,
+                      help="diurnal modulation depth [0,1)")
+    p_tr.add_argument("--spike-start-ms", type=float, default=1.0)
+    p_tr.add_argument("--spike-end-ms", type=float, default=2.0)
+    p_tr.add_argument("--spike-multiplier", type=float, default=8.0)
+    p_tr.add_argument("--shards", type=int, default=None,
+                      help="shard the server across N machines")
+    p_tr.add_argument("--scale", default="0.0001",
+                      help="query scale ('0.01', 'powerlaw', ...)")
+    p_tr.add_argument("--dataset-size", type=int, default=20_000)
+    p_tr.add_argument("--server-cores", type=int, default=28)
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--metrics-out", metavar="PATH", default=None,
+                      help="write the catfish-metrics/v1 JSON snapshot "
+                           "to PATH")
+    p_tr.add_argument("--verbose", "-v", action="store_true",
+                      help="print shed/tenant breakdown of the last point")
+    p_tr.set_defaults(func=cmd_traffic)
 
     p_sch = sub.add_parser("schemes", help="list available schemes")
     p_sch.set_defaults(func=cmd_schemes)

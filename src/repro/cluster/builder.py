@@ -334,11 +334,13 @@ class ExperimentRunner:
         to_us = 1e6
         self.metrics.adopt(
             "client.latency_us",
-            LatencyView(merged.latency, scale=to_us, unit="us"),
+            LatencyView(merged.latency, scale=to_us, unit="us",
+                        loop="closed"),
         )
         self.metrics.adopt(
             "client.search_latency_us",
-            LatencyView(merged.search_latency, scale=to_us, unit="us"),
+            LatencyView(merged.search_latency, scale=to_us, unit="us",
+                        loop="closed"),
         )
         result = RunResult(
             scheme=config.scheme,
@@ -350,6 +352,7 @@ class ExperimentRunner:
             mean_latency_us=merged.latency.mean * to_us,
             p50_latency_us=merged.latency.percentile(50) * to_us,
             p99_latency_us=merged.latency.percentile(99) * to_us,
+            p999_latency_us=merged.latency.percentile(99.9) * to_us,
             mean_search_latency_us=(
                 merged.search_latency.mean * to_us
                 if merged.search_latency.count
@@ -398,6 +401,11 @@ def run_experiment(config: ExperimentConfig) -> RunResult:
     default) asks for more than one shard, so ``run``/``compare`` treat
     sharded and single-server schemes uniformly.
     """
+    if config.traffic is not None:
+        # Open-loop traffic replaces the closed-loop client drivers
+        # entirely; the traffic harness handles sharding itself.
+        from ..traffic.harness import run_traffic_experiment
+        return run_traffic_experiment(config)
     n_shards = config.n_shards or scheme_spec(config.scheme).shards
     if n_shards > 1:
         from ..shard.deploy import run_sharded_experiment

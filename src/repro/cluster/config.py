@@ -13,6 +13,7 @@ from ..rtree.geometry import Rect
 from ..rtree.node import DEFAULT_MAX_ENTRIES
 from ..server.costs import DEFAULT_COSTS, CostModel
 from ..server.heartbeat import DEFAULT_HEARTBEAT_INTERVAL
+from ..traffic.config import TrafficConfig
 
 
 @dataclass
@@ -88,6 +89,13 @@ class ExperimentConfig:
     #: the engine byte-identical to the cache-less seed — the golden
     #: fingerprints are pinned on that default.
     node_cache: Optional[NodeCacheConfig] = None
+
+    #: Open-loop traffic block (arrival kind, offered rate, tenants,
+    #: aggregate sizing).  None — the default every scheme and chaos
+    #: golden fingerprint is pinned on — keeps the classic closed-loop
+    #: drivers; setting it routes ``run_experiment`` through
+    #: ``repro.traffic.harness`` instead.
+    traffic: Optional[TrafficConfig] = None
 
     #: When True, the runner samples (time, cpu_util, offload_fraction)
     #: every heartbeat interval into ``RunResult.timeline`` and registers

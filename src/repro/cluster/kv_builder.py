@@ -198,7 +198,8 @@ def run_kv_experiment(config: KvExperimentConfig) -> RunResult:
     elapsed = sim.now
     to_us = 1e6
     metrics.adopt("client.latency_us",
-                  LatencyView(merged.latency, scale=to_us, unit="us"))
+                  LatencyView(merged.latency, scale=to_us, unit="us",
+                              loop="closed"))
     return RunResult(
         scheme=f"{config.index}:{config.scheme}",
         fabric=config.fabric,
@@ -209,6 +210,7 @@ def run_kv_experiment(config: KvExperimentConfig) -> RunResult:
         mean_latency_us=merged.latency.mean * to_us,
         p50_latency_us=merged.latency.percentile(50) * to_us,
         p99_latency_us=merged.latency.percentile(99) * to_us,
+        p999_latency_us=merged.latency.percentile(99.9) * to_us,
         mean_search_latency_us=(
             merged.search_latency.mean * to_us
             if merged.search_latency.count else float("nan")

@@ -34,6 +34,9 @@ class RunResult:
     offload_fraction: float
     torn_retries: int
     search_restarts: int
+    #: p99.9 tail; defaulted (and excluded from the fingerprint) so the
+    #: pre-existing goldens stay valid.
+    p999_latency_us: float = float("nan")
     heartbeats_sent: int = 0
     heartbeats_dropped: int = 0
     searches_served_by_server: int = 0

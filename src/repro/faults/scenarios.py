@@ -212,6 +212,19 @@ def _shard_loss_runner(cfg: ChaosConfig) -> "ScenarioReport":
     return run_shard_loss(cfg)
 
 
+def _flash_crowd_plan(cfg: ChaosConfig) -> FaultPlan:
+    # The workload *is* the fault: the arrival rate spikes inside the
+    # fault window.  No injector faults are planned.
+    return FaultPlan(())
+
+
+def _flash_crowd_runner(cfg: ChaosConfig) -> "ScenarioReport":
+    # Lazy for the same reason as the shard runner: the traffic harness
+    # builds on the cluster layer, which imports repro.faults.
+    from ..traffic.chaos import run_flash_crowd
+    return run_flash_crowd(cfg)
+
+
 def _combo_plan(cfg: ChaosConfig) -> FaultPlan:
     start, end = cfg.fault_start, cfg.fault_end
     third = (end - start) / 3.0
@@ -290,6 +303,31 @@ SCENARIOS: Dict[str, ChaosScenario] = {
                                       backoff_base_s=20e-6)),
             ),
             runner=_shard_loss_runner,
+        ),
+        ChaosScenario(
+            "flash-crowd",
+            "open-loop arrival spike; mux watermark and the server "
+            "overload guard shed, then recover",
+            _flash_crowd_plan,
+            # A per-attempt deadline a saturated session blows (service
+            # rounds across the mux's contended sessions exceed it)
+            # while an uncontended base-rate request never does — that
+            # is what piles retries onto the rings and trips the
+            # queue-depth guard during the spike.  The deployment shape
+            # (cores, dataset, aggregates) is pinned alongside the
+            # deadline: the spike/recover calibration holds only when
+            # the base-rate service time sits below the deadline and
+            # the spiked service time above it.
+            tweaks=(
+                ("retry", RetryPolicy(deadline_s=40e-6, max_attempts=2,
+                                      backoff_base_s=5e-6)),
+                ("max_queue_depth", 1),
+                ("server_cores", 2),
+                ("n_clients", 2),
+                ("dataset_size", 1000),
+                ("max_entries", 64),
+            ),
+            runner=_flash_crowd_runner,
         ),
         ChaosScenario(
             "chaos-combo",

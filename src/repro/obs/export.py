@@ -11,8 +11,10 @@ comparable across schemes, presets and PRs::
       "trace": {"total_events": N, "dropped_events": D, "events": [...]}
     }
 
-Latency histograms carry ``count/mean/min/max/p50/p95/p99``; non-finite
-floats are serialized as ``null`` so the artifact is strict JSON.
+Latency histograms carry ``count/mean/min/max/p50/p95/p99/p999`` (and a
+``loop`` tag — ``"closed"`` or ``"open"`` — when the producer declared
+its measurement methodology); non-finite floats are serialized as
+``null`` so the artifact is strict JSON.
 """
 
 from __future__ import annotations

@@ -327,6 +327,7 @@ class Histogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
         }
 
     def __repr__(self) -> str:
@@ -339,19 +340,22 @@ class LatencyView:
     seconds -> microseconds)."""
 
     kind = "histogram"
-    __slots__ = ("name", "recorder", "scale", "unit")
+    __slots__ = ("name", "recorder", "scale", "unit", "loop")
 
     def __init__(self, recorder, scale: float = 1.0, unit: str = "",
-                 name: str = ""):
+                 name: str = "", loop: str = ""):
         self.name = name
         self.recorder = recorder
         self.scale = scale
         self.unit = unit
+        # Measurement methodology tag: "closed" (synchronous drivers —
+        # subject to coordinated omission) or "open" (arrival-clocked).
+        self.loop = loop
 
     def snapshot(self) -> Dict[str, Any]:
         rec = self.recorder
         empty = rec.count == 0
-        return {
+        snap = {
             "type": "histogram",
             "unit": self.unit,
             "count": rec.count,
@@ -361,7 +365,11 @@ class LatencyView:
             "p50": rec.percentile(50) * self.scale,
             "p95": rec.percentile(95) * self.scale,
             "p99": rec.percentile(99) * self.scale,
+            "p999": rec.percentile(99.9) * self.scale,
         }
+        if self.loop:
+            snap["loop"] = self.loop
+        return snap
 
 
 class WindowSampler:

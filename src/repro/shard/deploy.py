@@ -278,11 +278,13 @@ class ShardedExperimentRunner:
         to_us = 1e6
         self.metrics.adopt(
             "client.latency_us",
-            LatencyView(merged.latency, scale=to_us, unit="us"),
+            LatencyView(merged.latency, scale=to_us, unit="us",
+                        loop="closed"),
         )
         self.metrics.adopt(
             "client.search_latency_us",
-            LatencyView(merged.search_latency, scale=to_us, unit="us"),
+            LatencyView(merged.search_latency, scale=to_us, unit="us",
+                        loop="closed"),
         )
         heartbeats_sent = sum(
             int(s.heartbeats.beats_sent)
@@ -303,6 +305,7 @@ class ShardedExperimentRunner:
             mean_latency_us=merged.latency.mean * to_us,
             p50_latency_us=merged.latency.percentile(50) * to_us,
             p99_latency_us=merged.latency.percentile(99) * to_us,
+            p999_latency_us=merged.latency.percentile(99.9) * to_us,
             mean_search_latency_us=(
                 merged.search_latency.mean * to_us
                 if merged.search_latency.count

@@ -1,0 +1,376 @@
+"""The latency-under-load harness: open-loop traffic against a cluster.
+
+Builds the same :class:`~repro.runtime.stack.ServerStack` (single) or
+K-stack sharded deployment the closed-loop runners build, but replaces
+the per-client synchronous drivers with:
+
+    aggregates (open-loop arrivals, bounded windows)
+        -> ConnectionMux (watermark + token bucket admission)
+            -> shared PolicySessions / scatter-gather routers (QPs)
+                -> server stack(s)
+
+and measures what closed loops cannot: *sojourn time* — arrival to
+completion, queueing included — at p50/p95/p99/p99.9, offered-versus-
+achieved throughput, and shed accounting at every layer.
+
+Determinism contract: every stream is named off the one experiment
+seed — ``aggregate-{i}``:{arrivals,tenants,users,workload} for the
+open-loop side, ``traffic-session-{i}`` (forked per shard via
+``rngs.shard(k)`` when sharded) for the session side — so arrival
+schedules are bit-identical across deployments with different shard
+counts, and a whole run replays exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..client.base import ClientStats
+from ..cluster.config import ExperimentConfig
+from ..cluster.results import RunResult
+from ..cluster.schemes import TRANSPORT_TCP, scheme_spec
+from ..hw.host import Host
+from ..net.fabric import profile_by_name
+from ..obs import NULL_TRACER, LatencyView, MetricsRegistry, \
+    snapshot_document
+from ..runtime.factory import SessionFactory
+from ..runtime.stack import ServerStack
+from ..sim.kernel import Simulator, all_of
+from ..sim.monitor import LatencyRecorder
+from ..sim.rng import RngRegistry
+from ..workloads.datasets import uniform_dataset
+from ..workloads.scales import scale_generator
+from .aggregate import AggregateClient
+from .arrivals import aggregate_generator
+from .config import TrafficConfig
+from .mux import ConnectionMux, TokenBucket
+
+#: Simulated slack past the offered window for the backlog to drain.
+DRAIN_GRACE_S = 20e-3
+
+
+@dataclass
+class TrafficResult:
+    """Everything one open-loop run measured."""
+
+    scheme: str
+    fabric: str
+    n_shards: int
+    kind: str
+    offered_rps: float
+    achieved_rps: float
+    duration_s: float
+    elapsed_s: float
+
+    arrivals: int
+    admitted: int
+    completed: int
+    failed: int
+    shed_window: int
+    shed_watermark: int
+    shed_admission: int
+    server_shed: int
+
+    users_total: int
+    users_touched: int
+
+    # Sojourn time (arrival -> completion), microseconds.
+    sojourn_mean_us: float
+    sojourn_p50_us: float
+    sojourn_p95_us: float
+    sojourn_p99_us: float
+    sojourn_p999_us: float
+
+    server_cpu_utilization: float
+    per_tenant: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metrics: Dict = field(default_factory=dict)
+
+    @property
+    def shed_client_total(self) -> int:
+        return self.shed_window + self.shed_watermark + self.shed_admission
+
+    @staticmethod
+    def header() -> str:
+        return (f"{'offered/s':>10} {'achieved/s':>10} {'done':>8} "
+                f"{'fail':>6} {'shed':>7} {'p50us':>8} {'p99us':>9} "
+                f"{'p999us':>9} {'cpu':>6}")
+
+    def row(self) -> str:
+        return (f"{self.offered_rps:>10.0f} {self.achieved_rps:>10.0f} "
+                f"{self.completed:>8} {self.failed:>6} "
+                f"{self.shed_client_total:>7} {self.sojourn_p50_us:>8.1f} "
+                f"{self.sojourn_p99_us:>9.1f} {self.sojourn_p999_us:>9.1f} "
+                f"{self.server_cpu_utilization * 100:>5.1f}%")
+
+    def to_run_result(self) -> RunResult:
+        """Project onto the closed-loop result shape (CLI/compare)."""
+        return RunResult(
+            scheme=self.scheme,
+            fabric=self.fabric,
+            n_clients=self.metrics.get("meta", {}).get("n_aggregates", 0),
+            total_requests=self.arrivals,
+            elapsed_s=self.elapsed_s,
+            throughput_kops=self.achieved_rps / 1e3,
+            mean_latency_us=self.sojourn_mean_us,
+            p50_latency_us=self.sojourn_p50_us,
+            p99_latency_us=self.sojourn_p99_us,
+            p999_latency_us=self.sojourn_p999_us,
+            mean_search_latency_us=self.sojourn_mean_us,
+            server_cpu_utilization=self.server_cpu_utilization,
+            server_bandwidth_gbps=0.0,
+            server_bandwidth_utilization=0.0,
+            offload_fraction=0.0,
+            torn_retries=0,
+            search_restarts=0,
+            extra={
+                "completed": float(self.completed),
+                "failed": float(self.failed),
+                "shed_client": float(self.shed_client_total),
+                "shed_server": float(self.server_shed),
+                "users_touched": float(self.users_touched),
+                "n_shards": float(self.n_shards),
+            },
+            metrics=self.metrics,
+        )
+
+
+class TrafficRunner:
+    """Builds one open-loop deployment for a config and runs it."""
+
+    def __init__(self, config: ExperimentConfig, record: bool = False):
+        if config.traffic is None:
+            raise ValueError("config.traffic must be set for TrafficRunner")
+        self.config = config
+        self.traffic: TrafficConfig = config.traffic
+        self.spec = scheme_spec(config.scheme)
+        if self.spec.transport == TRANSPORT_TCP:
+            raise ValueError(
+                "the traffic layer multiplexes fast-messaging/offload "
+                f"sessions; scheme {config.scheme!r} is TCP-based"
+            )
+        self.profile = profile_by_name(config.fabric)
+        self.n_shards = config.n_shards or self.spec.shards
+
+        self.sim = Simulator()
+        self.rngs = RngRegistry(config.seed)
+        self.metrics = MetricsRegistry()
+
+        items = config.dataset
+        if items is None:
+            items = uniform_dataset(config.dataset_size, seed=config.seed)
+        self.dataset = items
+
+        self.factory = SessionFactory(self.sim, self.spec, config,
+                                      NULL_TRACER)
+        self.session_stats: List[ClientStats] = []
+        self.sessions = []
+        if self.n_shards > 1:
+            from ..shard.partition import ShardMap, partition_str
+            from ..shard.router import ScatterGatherRouter
+            self.partition = partition_str(items, self.n_shards)
+            self.stacks = [
+                ServerStack(
+                    self.sim, self.profile, self.spec, config,
+                    self.rngs.shard(shard_id), list(slice_items),
+                    name=f"shard{shard_id}-server",
+                )
+                for shard_id, slice_items
+                in enumerate(self.partition.assignments)
+            ]
+            for i in range(self.traffic.sessions):
+                host = Host(self.sim, f"mux-{i}", self.profile,
+                            cores=config.client_cores)
+                stats = ClientStats()
+                router = ScatterGatherRouter.from_factory(
+                    self.factory, i, self.stacks, host, stats,
+                    lambda k, i=i: self.rngs.shard(k).fork(
+                        f"traffic-session-{i}"),
+                    ShardMap(list(self.partition.shard_map)),
+                    breaker_params=config.breaker,
+                )
+                self.session_stats.append(stats)
+                self.sessions.append(router)
+        else:
+            self.partition = None
+            self.stacks = [ServerStack(
+                self.sim, self.profile, self.spec, config, self.rngs,
+                items,
+            )]
+            for i in range(self.traffic.sessions):
+                host = Host(self.sim, f"mux-{i}", self.profile,
+                            cores=config.client_cores)
+                stats = ClientStats()
+                session = self.factory.build(
+                    i, self.stacks[0], host, stats,
+                    self.rngs.fork(f"traffic-session-{i}"),
+                )
+                self.session_stats.append(stats)
+                self.sessions.append(session)
+        for stack in self.stacks:
+            stack.start_heartbeats()
+
+        bucket = None
+        if self.traffic.admit_rate is not None:
+            bucket = TokenBucket(self.traffic.admit_rate,
+                                 self.traffic.admit_burst)
+        self.mux = ConnectionMux(
+            self.sim, self.sessions, self.traffic.queue_watermark,
+            bucket=bucket, record=record,
+        )
+
+        self.sojourn = LatencyRecorder()
+        self.tenant_sojourn = {
+            name: LatencyRecorder() for name in self.traffic.tenant_names
+        }
+        scale_gen = scale_generator(config.scale)
+        self.aggregates: List[AggregateClient] = []
+        for a in range(self.traffic.n_aggregates):
+            arngs = self.rngs.fork(f"aggregate-{a}")
+            self.aggregates.append(AggregateClient(
+                self.sim, a,
+                n_users=self.traffic.users_per_aggregate,
+                window=self.traffic.window,
+                generator=aggregate_generator(self.traffic, arngs),
+                users_rng=arngs.stream("users"),
+                workload_rng=arngs.stream("workload"),
+                scale_gen=scale_gen,
+                mux=self.mux,
+                sojourn=self.sojourn,
+                tenant_sojourn=self.tenant_sojourn,
+            ))
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        m = self.metrics
+        for k, stack in enumerate(self.stacks):
+            stack.register_metrics(
+                m, label=f"shard{k}" if self.n_shards > 1 else None)
+        self.mux.register_metrics(m)
+        m.expose("traffic.arrivals",
+                 lambda: sum(a.arrivals for a in self.aggregates))
+        m.expose("traffic.shed_window",
+                 lambda: sum(a.shed_window for a in self.aggregates))
+        m.expose("traffic.users_touched",
+                 lambda: sum(a.users_touched for a in self.aggregates))
+        m.expose("traffic.in_flight",
+                 lambda: sum(a.in_flight for a in self.aggregates))
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> TrafficResult:
+        sim = self.sim
+        duration = self.traffic.duration_s
+        drivers = [
+            sim.process(agg.run(duration), name=f"aggregate-{agg.aggregate_id}")
+            for agg in self.aggregates
+        ]
+        limit = duration + DRAIN_GRACE_S
+        sim.run_until_triggered(all_of(sim, drivers), limit=limit)
+        self.mux.close()
+        sim.run_until_triggered(all_of(sim, self.mux.dispatchers),
+                                limit=limit)
+        return self._collect()
+
+    def _collect(self) -> TrafficResult:
+        config, traffic = self.config, self.traffic
+        to_us = 1e6
+        self.metrics.adopt(
+            "traffic.sojourn_us",
+            LatencyView(self.sojourn, scale=to_us, unit="us", loop="open"),
+        )
+        for name, rec in self.tenant_sojourn.items():
+            self.metrics.adopt(
+                f"traffic.sojourn_us.{name}",
+                LatencyView(rec, scale=to_us, unit="us", loop="open"),
+            )
+        arrivals = sum(a.arrivals for a in self.aggregates)
+        shed_window = sum(a.shed_window for a in self.aggregates)
+        server_shed = sum(
+            int(s.fm_server.requests_shed) for s in self.stacks
+            if s.fm_server is not None
+        )
+        cpu = sum(
+            s.host.cpu.utilization() for s in self.stacks
+        ) / len(self.stacks)
+        per_tenant = {
+            name: {
+                "count": float(rec.count),
+                "p50_us": rec.percentile(50) * to_us,
+                "p99_us": rec.percentile(99) * to_us,
+            }
+            for name, rec in self.tenant_sojourn.items()
+        }
+        doc = snapshot_document(
+            self.metrics,
+            meta={
+                "scheme": config.scheme,
+                "fabric": config.fabric,
+                "seed": config.seed,
+                "loop": "open",
+                "arrival_kind": traffic.kind,
+                "offered_rps": traffic.rate,
+                "duration_s": traffic.duration_s,
+                "n_aggregates": traffic.n_aggregates,
+                "users_per_aggregate": traffic.users_per_aggregate,
+                "n_shards": self.n_shards,
+                "sessions": traffic.sessions,
+            },
+        )
+        return TrafficResult(
+            scheme=config.scheme,
+            fabric=config.fabric,
+            n_shards=self.n_shards,
+            kind=traffic.kind,
+            offered_rps=traffic.rate,
+            achieved_rps=self.mux.completed / traffic.duration_s,
+            duration_s=traffic.duration_s,
+            elapsed_s=self.sim.now,
+            arrivals=arrivals,
+            admitted=self.mux.admitted,
+            completed=self.mux.completed,
+            failed=self.mux.failed,
+            shed_window=shed_window,
+            shed_watermark=self.mux.shed_watermark,
+            shed_admission=self.mux.shed_admission,
+            server_shed=server_shed,
+            users_total=traffic.total_users,
+            users_touched=sum(a.users_touched for a in self.aggregates),
+            sojourn_mean_us=self.sojourn.mean * to_us,
+            sojourn_p50_us=self.sojourn.percentile(50) * to_us,
+            sojourn_p95_us=self.sojourn.percentile(95) * to_us,
+            sojourn_p99_us=self.sojourn.percentile(99) * to_us,
+            sojourn_p999_us=self.sojourn.percentile(99.9) * to_us,
+            server_cpu_utilization=cpu,
+            per_tenant=per_tenant,
+            metrics=doc,
+        )
+
+
+def run_traffic(config: ExperimentConfig,
+                record: bool = False) -> TrafficResult:
+    """Build, run, collect one open-loop point."""
+    return TrafficRunner(config, record=record).run()
+
+
+def run_traffic_experiment(config: ExperimentConfig) -> RunResult:
+    """The :func:`~repro.cluster.builder.run_experiment` dispatch target."""
+    return run_traffic(config).to_run_result()
+
+
+def rate_sweep(config: ExperimentConfig,
+               rates: List[float]) -> List[TrafficResult]:
+    """One fresh deployment per offered rate (identical otherwise)."""
+    if config.traffic is None:
+        raise ValueError("config.traffic must be set for a rate sweep")
+    results = []
+    for rate in rates:
+        point = replace(config.traffic, rate=rate)
+        results.append(run_traffic(replace_config(config, point)))
+    return results
+
+
+def replace_config(config: ExperimentConfig,
+                   traffic: TrafficConfig) -> ExperimentConfig:
+    """A copy of ``config`` with a different traffic block."""
+    return replace(config, traffic=traffic)

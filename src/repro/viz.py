@@ -83,9 +83,13 @@ def render_metrics(document: dict, width: int = 40) -> List[str]:
             def fmt(key):
                 v = snap.get(key)
                 return f"{v:.1f}" if isinstance(v, (int, float)) else "-"
+            tail = (f" p999={fmt('p999')}"
+                    if snap.get("p999") is not None else "")
+            loop = snap.get("loop")
             lines.append(
                 f"{name}: n={snap['count']} mean={fmt('mean')}{unit} "
                 f"p50={fmt('p50')} p95={fmt('p95')} p99={fmt('p99')}"
+                f"{tail}{f' [{loop}-loop]' if loop else ''}"
             )
 
     for name in sorted(metrics):

@@ -48,7 +48,7 @@ class TestHarness:
 
 class TestInvariantsFast:
     @pytest.mark.parametrize("name", ["worker-crash", "write-storm",
-                                      "heartbeat-blackout"])
+                                      "heartbeat-blackout", "flash-crowd"])
     def test_scenario_passes_reduced(self, name):
         report = run_scenario(name, **FAST)
         assert report.ok, report.failures
@@ -74,6 +74,13 @@ class TestDeterministicReplay:
         b = run_scenario("link-loss", seed=2, **FAST)
         # The workloads differ, so the outcome digest must differ.
         assert a.fingerprint() != b.fingerprint()
+
+    def test_flash_crowd_fingerprint_pinned(self):
+        # The scenario pins its own deployment shape via tweaks, so the
+        # digest is stable even under the FAST sizing overrides.
+        report = run_scenario("flash-crowd", **FAST)
+        assert report.ok, report.failures
+        assert report.fingerprint() == "95d90656ca53e494"
 
     def test_config_object_and_kwargs_agree(self):
         via_kwargs = run_scenario("slow-client", seed=5, **FAST)
