@@ -33,9 +33,11 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", default="0.0001",
                         help="query scale ('0.01', 'powerlaw', ...)")
     parser.add_argument("--workload", default="search",
-                        choices=["search", "hybrid", "mixed"],
+                        choices=["search", "search-skewed", "hybrid",
+                                 "mixed"],
                         help="request mix ('mixed' = read-only "
-                             "search/count/nearest)")
+                             "search/count/nearest; 'search-skewed' = "
+                             "Zipf-hotspot searches)")
     parser.add_argument("--dataset-size", type=int, default=20_000,
                         help="rectangles in the pre-built tree")
     parser.add_argument("--server-cores", type=int, default=28)
@@ -58,6 +60,13 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
                              "snapshot (implies --metrics-out usefulness)")
 
 
+def _rebalance_from(args):
+    if not getattr(args, "rebalance", False):
+        return None
+    from .cluster.config import RebalanceConfig
+    return RebalanceConfig()
+
+
 def _config_from(args, scheme: str) -> ExperimentConfig:
     heartbeat = args.heartbeat_ms * 1e-3
     return ExperimentConfig(
@@ -77,6 +86,7 @@ def _config_from(args, scheme: str) -> ExperimentConfig:
         collect_timeline=getattr(args, "timeline", False),
         trace=getattr(args, "trace", False),
         n_shards=getattr(args, "shards", None),
+        rebalance=_rebalance_from(args),
     )
 
 
@@ -237,7 +247,7 @@ def cmd_chaos(args) -> int:
 #: Workload kinds whose requests are all reads — the single bulk-loaded
 #: tree stays an exact oracle for every routed query, so `repro shard`
 #: can verify the merged results rather than just report throughput.
-_READ_ONLY_WORKLOADS = ("search", "mixed")
+_READ_ONLY_WORKLOADS = ("search", "search-skewed", "mixed")
 
 
 def cmd_shard(args) -> int:
@@ -263,6 +273,22 @@ def cmd_shard(args) -> int:
     partial = sum(int(s.partial_results) for s in runner.router_stats)
     print(f"\nrouter: {routed} queries -> {issued} sub-queries "
           f"({pruned} shard visits pruned, {partial} partial results)")
+    before = runner.initial_occupancy()
+    after = runner.shard_occupancy()
+    print(f"\nshard occupancy (items before -> after):")
+    for shard_id, (b, a) in enumerate(zip(before, after)):
+        delta = a - b
+        print(f"  shard {shard_id}: {b:>7} -> {a:>7} ({delta:+d})")
+    if runner.rebalancer is not None:
+        s = runner.rebalance_stats
+        rescattered = sum(int(r.epoch_rescatters)
+                          for r in runner.router_stats)
+        print(f"rebalance: {int(s.splits)} splits, {int(s.merges)} merges, "
+              f"{int(s.migrations_completed)} migrations "
+              f"({int(s.items_migrated)} items moved), "
+              f"map epoch {runner.live_map.epoch}, "
+              f"{len(runner.live_map.tiles)} tiles, "
+              f"{rescattered} epoch re-scatters")
     if not verify:
         print("oracle verification skipped "
               f"(workload {args.workload!r} is not read-only)"
@@ -324,6 +350,7 @@ def cmd_traffic(args) -> int:
             spike_start=args.spike_start_ms * 1e-3,
             spike_end=args.spike_end_ms * 1e-3,
             spike_multiplier=args.spike_multiplier,
+            hotspot_skew=getattr(args, "hotspot_skew", False),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -337,6 +364,7 @@ def cmd_traffic(args) -> int:
         seed=args.seed,
         n_shards=args.shards,
         traffic=traffic,
+        rebalance=_rebalance_from(args),
     )
     users = traffic.total_users
     print(f"open-loop {traffic.kind} traffic: {users:,} virtual users "
@@ -469,6 +497,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_shard.add_argument("--no-verify", action="store_true",
                          help="skip the oracle check (just report "
                               "throughput)")
+    p_shard.add_argument("--rebalance", action="store_true",
+                         help="enable the elastic shard plane: live "
+                              "tile split/merge + item migration under "
+                              "an epoch-versioned shard map")
     _add_common_options(p_shard)
     p_shard.set_defaults(func=cmd_shard, workload="mixed")
 
@@ -515,6 +547,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--spike-multiplier", type=float, default=8.0)
     p_tr.add_argument("--shards", type=int, default=None,
                       help="shard the server across N machines")
+    p_tr.add_argument("--rebalance", action="store_true",
+                      help="enable the elastic shard plane (needs "
+                           "--shards > 1)")
+    p_tr.add_argument("--hotspot-skew", action="store_true",
+                      help="draw query locations from Zipf hotspots "
+                           "instead of uniformly")
     p_tr.add_argument("--scale", default="0.0001",
                       help="query scale ('0.01', 'powerlaw', ...)")
     p_tr.add_argument("--dataset-size", type=int, default=20_000)

@@ -16,6 +16,58 @@ from ..server.heartbeat import DEFAULT_HEARTBEAT_INTERVAL
 from ..traffic.config import TrafficConfig
 
 
+@dataclass(frozen=True)
+class RebalanceConfig:
+    """Tunables of the elastic shard plane (see repro.shard.rebalance).
+
+    Lives here (not in ``repro.shard``) so :class:`ExperimentConfig` can
+    carry it without an import cycle; ``repro.shard.rebalance`` re-exports
+    it.  All golden fingerprints are pinned on ``ExperimentConfig``'s
+    default of ``rebalance=None`` (no controller, static plane).
+    """
+
+    #: Master switch; a config carrying a disabled block behaves as None.
+    enabled: bool = True
+    #: Controller cycle period (simulated seconds between load reads).
+    interval: float = 0.05e-3
+    #: Simulated delay before the first cycle (let load windows fill).
+    warmup: float = 0.0
+    #: A shard is "hot" when its per-cycle load exceeds
+    #: ``split_ratio`` x the mean per-shard load.
+    split_ratio: float = 1.5
+    #: Never split a shard holding fewer items than this.
+    min_split_items: int = 32
+    #: Ceiling on routing-table growth (splits stop at this many tiles).
+    max_tiles: int = 64
+    #: Simulated drain time between the epoch cut-over and the source-side
+    #: deletes: queries that scattered against the old plane finish
+    #: against a source that still holds the moved items.  (The router's
+    #: epoch-aware re-scatter is the safety net if a straggler outlives
+    #: even this window.)
+    drain_s: float = 0.3e-3
+    #: Opportunistic merging of adjacent same-owner tiles (at most one
+    #: merge per controller cycle).
+    merge_enabled: bool = True
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValueError(f"interval must be > 0, got {self.interval}")
+        if self.split_ratio < 1.0:
+            raise ValueError(
+                f"split_ratio must be >= 1, got {self.split_ratio}"
+            )
+        if self.min_split_items < 2:
+            raise ValueError(
+                f"min_split_items must be >= 2, got {self.min_split_items}"
+            )
+        if self.max_tiles < 1:
+            raise ValueError(
+                f"max_tiles must be >= 1, got {self.max_tiles}"
+            )
+        if self.drain_s < 0:
+            raise ValueError(f"drain_s must be >= 0, got {self.drain_s}")
+
+
 @dataclass
 class ExperimentConfig:
     """Everything needed to run one point of a paper figure."""
@@ -26,7 +78,9 @@ class ExperimentConfig:
     requests_per_client: int = 100
 
     # Workload.
-    workload_kind: str = "search"  # search | hybrid | churn | mixed | queries
+    # search | search-skewed | hybrid | churn | hybrid-skewed | mixed
+    # | queries
+    workload_kind: str = "search"
     scale: str = "0.00001"         # "0.00001" | "0.01" | "powerlaw"
     insert_fraction: float = 0.1
     queries: Sequence[Rect] = ()
@@ -55,6 +109,15 @@ class ExperimentConfig:
     #: ``shards`` (1 for every single-server scheme).  Any value > 1
     #: routes the run through ``repro.shard.deploy``.
     n_shards: Optional[int] = None
+
+    #: Elastic shard plane: when set (and enabled), the sharded runner
+    #: shares one live epoch-versioned shard map across all clients,
+    #: routes reads epoch-aware, and starts a
+    #: :class:`~repro.shard.rebalance.RebalanceController` driving tile
+    #: split/merge and live item migration as background work.  None —
+    #: the default every scheme and chaos golden fingerprint is pinned
+    #: on — keeps the static per-client map copies of PR 4.
+    rebalance: Optional[RebalanceConfig] = None
 
     #: Batched reads: group up to this many consecutive searches of a
     #: client's stream into one shared offload traversal
@@ -119,8 +182,9 @@ class ExperimentConfig:
                 f"requests_per_client must be >= 1, got "
                 f"{self.requests_per_client}"
             )
-        if self.workload_kind not in ("search", "hybrid", "churn",
-                                      "hybrid-skewed", "mixed", "queries"):
+        if self.workload_kind not in ("search", "search-skewed", "hybrid",
+                                      "churn", "hybrid-skewed", "mixed",
+                                      "queries"):
             raise ValueError(f"unknown workload {self.workload_kind!r}")
         if self.n_shards is not None and self.n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")

@@ -212,6 +212,27 @@ def _shard_loss_runner(cfg: ChaosConfig) -> "ScenarioReport":
     return run_shard_loss(cfg)
 
 
+def _rebalance_fault_plan(cfg: ChaosConfig) -> FaultPlan:
+    from ..shard.chaos import rebalance_fault_plan
+    return rebalance_fault_plan(cfg)
+
+
+def _rebalance_under_fault_runner(cfg: ChaosConfig) -> "ScenarioReport":
+    # Lazy import for the same cycle reason as the shard-loss runner.
+    from ..shard.chaos import run_rebalance_under_fault
+    return run_rebalance_under_fault(cfg)
+
+
+def _racing_writes_plan(cfg: ChaosConfig) -> FaultPlan:
+    # The workload races the migration windows; no injector faults.
+    return FaultPlan(())
+
+
+def _racing_writes_runner(cfg: ChaosConfig) -> "ScenarioReport":
+    from ..shard.chaos import run_migration_racing_writes
+    return run_migration_racing_writes(cfg)
+
+
 def _flash_crowd_plan(cfg: ChaosConfig) -> FaultPlan:
     # The workload *is* the fault: the arrival rate spikes inside the
     # fault window.  No injector faults are planned.
@@ -328,6 +349,20 @@ SCENARIOS: Dict[str, ChaosScenario] = {
                 ("max_entries", 64),
             ),
             runner=_flash_crowd_runner,
+        ),
+        ChaosScenario(
+            "rebalance-under-fault",
+            "skewed reads drive tile splits + live migration on a lossy "
+            "link; the epoch-cut protocol must stay exactly-once",
+            _rebalance_fault_plan,
+            runner=_rebalance_under_fault_runner,
+        ),
+        ChaosScenario(
+            "migration-racing-writes",
+            "hybrid writes race live migration windows; conservation "
+            "(no lost or duplicated item) must hold after settling",
+            _racing_writes_plan,
+            runner=_racing_writes_runner,
         ),
         ChaosScenario(
             "chaos-combo",

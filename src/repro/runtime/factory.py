@@ -133,3 +133,26 @@ class SessionFactory:
                 breaker=self._breaker(),
             )
         raise ValueError(f"unknown path policy {policy!r}")
+
+    def build_shard_sessions(
+        self,
+        client_id: int,
+        stacks,
+        host: Host,
+        stats: ClientStats,
+        rng_for_shard,
+    ) -> list:
+        """One session per shard stack for a scatter-gather client.
+
+        ``rng_for_shard(k)`` must return the client's registry against
+        shard ``k`` (``rngs.shard(k).fork(f"client-{i}")`` in the
+        deployers) — shard-derived, so adding shards never perturbs the
+        retry/back-off draws against existing shards.  Sessions are
+        per-*stack*, so they survive every shard-map revision: the map
+        decides which of them a query visits, tile reassignments never
+        rebuild a session.
+        """
+        return [
+            self.build(client_id, stack, host, stats, rng_for_shard(k))
+            for k, stack in enumerate(stacks)
+        ]

@@ -123,6 +123,22 @@ class ServerStack:
         if self.heartbeats is not None:
             self.heartbeats.start()
 
+    # -- occupancy ---------------------------------------------------------
+
+    def items_held(self) -> int:
+        """Exact data-item count in this stack's tree right now.
+
+        Walks the leaf level, so it stays correct under routed writes and
+        live migration (served-op counters can't distinguish a delete
+        that found nothing).  The rebalance controller and the shard
+        occupancy report both read this.
+        """
+        tree = self.server.tree
+        return sum(
+            len(node.entries) for node in tree.nodes.values()
+            if node.level == 0
+        )
+
     # -- metrics -----------------------------------------------------------
 
     def register_metrics(self, metrics: MetricsRegistry,
@@ -143,6 +159,8 @@ class ServerStack:
                        lambda: int(self.server.searches_served))
         metrics.expose(f"{dot}server.inserts_served",
                        lambda: int(self.server.inserts_served))
+        metrics.expose(f"{dot}server.items_held",
+                       lambda: self.items_held())
         metrics.expose(f"{dot}server.cpu_utilization",
                        self.host.cpu.utilization)
         metrics.expose(f"{dot}net.server_bandwidth_gbps",

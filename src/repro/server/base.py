@@ -14,6 +14,7 @@ Owns everything scheme-independent:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Sequence, Tuple
 
@@ -43,6 +44,11 @@ META_REGION_SIZE = 64
 #: full 64-entry nodes; clients always read whole chunks since they cannot
 #: know a node's fill level).
 OFFLOAD_CHUNK_BYTES = 4096
+
+#: Recent read rects kept per server for load-aware split planning; big
+#: enough to smooth one rebalance interval's traffic, small enough that
+#: a stale sample ages out within a few intervals.
+RECENT_QUERY_WINDOW = 256
 
 
 @dataclass(frozen=True)
@@ -228,6 +234,10 @@ class RTreeServer:
         self.inserts_served = 0
         self.deletes_served = 0
         self.updates_served = 0
+        #: Bounded ring of recent read rects (search/count/nearest), the
+        #: load sample the rebalance controller plans splits from.  Pure
+        #: observability: appending charges no CPU and draws no RNG.
+        self.recent_queries = deque(maxlen=RECENT_QUERY_WINDOW)
 
     # -- client bootstrap ----------------------------------------------------
 
@@ -257,6 +267,7 @@ class RTreeServer:
 
         yield from self.locks.read_guard(result.visited_chunks, body())
         self.searches_served += 1
+        self.recent_queries.append(rect)
         return result.matches
 
     def execute_nearest(self, x: float, y: float, k: int) -> Generator:
@@ -269,6 +280,7 @@ class RTreeServer:
 
         yield from self.locks.read_guard(result.visited_chunks, body())
         self.searches_served += 1
+        self.recent_queries.append(Rect(x, y, x, y))
         return result.matches
 
     def execute_count(self, rect: Rect) -> Generator:
@@ -287,6 +299,7 @@ class RTreeServer:
 
         yield from self.locks.read_guard(result.visited_chunks, body())
         self.searches_served += 1
+        self.recent_queries.append(rect)
         return result.count
 
     def execute_insert(self, rect: Rect, data_id: int) -> Generator:

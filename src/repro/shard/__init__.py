@@ -8,7 +8,15 @@ per-shard adaptive back-off state and degrading to partial results when a
 shard is lost.  See docs/architecture.md ("Sharding").
 """
 
-from .partition import Partition, ShardInfo, ShardMap, partition_str
+from .partition import (
+    Partition,
+    ShardInfo,
+    ShardMap,
+    TileEntry,
+    partition_str,
+    tile_contains,
+)
+from .rebalance import RebalanceConfig, RebalanceController, RebalanceStats
 from .router import (
     OFFLOAD_ERROR,
     OK,
@@ -28,12 +36,17 @@ __all__ = [
     "TIMEOUT",
     "Partition",
     "PartialResult",
+    "RebalanceConfig",
+    "RebalanceController",
+    "RebalanceStats",
     "RouterStats",
     "ScatterGatherRouter",
     "ShardInfo",
     "ShardMap",
     "ShardedExperimentRunner",
+    "TileEntry",
     "merge_search_replies",
     "partition_str",
     "run_sharded_experiment",
+    "tile_contains",
 ]

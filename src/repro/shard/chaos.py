@@ -1,4 +1,4 @@
-"""The shard-loss chaos scenario: lose a shard, degrade correctly.
+"""Sharded chaos scenarios: shard loss, rebalance under fault, racing writes.
 
 Runs a mixed read-only workload through a 4-shard cluster while one
 shard fail-stops for the fault window, then checks the sharded system's
@@ -14,21 +14,36 @@ The harness mirrors :func:`repro.faults.scenarios.run_scenario`'s report
 shape, so ``repro chaos`` and the smoke/test tooling treat shard-loss
 like any other scenario (invariants, fired-counters, replayable
 fingerprint).
+
+Two further scenarios stress the *elastic* plane (PR 10):
+
+* **rebalance-under-fault** — a skewed read-only workload drives tile
+  splits and live migrations while the link drops 30% of packets; every
+  complete result must still match the single-tree oracle exactly and
+  every degraded result must stay sound (epoch-cut exactly-once under
+  fault pressure);
+* **migration-racing-writes** — a hybrid write workload races the
+  migration copy/cut-over/drain windows; after settling, every dataset
+  id and every acked insert must live in exactly one shard tree
+  (conservation: migration neither loses nor duplicates racing writes).
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import Counter
 from typing import Dict, List, Tuple
 
-from ..cluster.config import ExperimentConfig
-from ..faults.plan import FaultPlan, ShardLoss
+from ..client.base import OP_INSERT, READ_OPS
+from ..cluster.config import ExperimentConfig, RebalanceConfig
+from ..faults.plan import BOTH, FaultPlan, LinkFault, ShardLoss
 from ..faults.scenarios import ChaosConfig, ScenarioReport
 from ..rtree.bulk import bulk_load
 from ..sim.kernel import SimulationError, all_of
 from .deploy import ShardedExperimentRunner
+from .rebalance import RebalanceStats
 from .router import RouterStats
-from .verify import result_consistent
+from .verify import result_consistent, result_consistent_rebalance
 
 #: The scenario's fixed topology: 4 shards, shard 1 lost for the window.
 N_SHARDS = 4
@@ -203,4 +218,316 @@ def run_shard_loss(cfg: ChaosConfig) -> ScenarioReport:
     for key in sorted(counters):
         digest.update(f"{key}={counters[key]}\n".encode())
     report._fingerprint = digest.hexdigest()[:16]
+    return report
+
+
+# -- the elastic-plane scenarios ---------------------------------------------
+
+#: Aggressive controller tuning shared by both rebalance scenarios: the
+#: chaos runs are short (a few ms simulated), so the controller must
+#: observe, split and migrate inside that horizon at every test sizing.
+REBALANCE_TUNING = RebalanceConfig(
+    interval=0.02e-3,
+    split_ratio=1.2,
+    min_split_items=16,
+    max_tiles=32,
+    drain_s=0.05e-3,
+)
+
+
+def rebalance_fault_plan(cfg: ChaosConfig) -> FaultPlan:
+    return FaultPlan((
+        LinkFault(cfg.fault_start, cfg.fault_end, direction=BOTH,
+                  loss_prob=0.3, retransmit_delay_s=30e-6),
+    ))
+
+
+def _rebalance_experiment_config(cfg: ChaosConfig, workload: str,
+                                 fault_plan) -> ExperimentConfig:
+    return ExperimentConfig(
+        scheme="catfish-sharded",
+        fabric="ib-100g",
+        n_clients=cfg.n_clients,
+        requests_per_client=cfg.requests_per_client,
+        workload_kind=workload,
+        scale=str(cfg.query_scale),
+        dataset_size=cfg.dataset_size,
+        max_entries=cfg.max_entries,
+        server_cores=cfg.server_cores,
+        adaptive=cfg.adaptive,
+        heartbeat_interval=cfg.heartbeat_interval,
+        seed=cfg.seed,
+        fault_plan=fault_plan,
+        retry=cfg.retry,
+        breaker=cfg.breaker,
+        stale_after_missing=cfg.stale_after_missing,
+        max_queue_depth=cfg.max_queue_depth,
+        n_shards=N_SHARDS,
+        rebalance=REBALANCE_TUNING,
+    )
+
+
+def _run_rebalance_cluster(name: str, cfg: ChaosConfig, workload: str,
+                           fault_plan):
+    """Shared run harness: build, drive to completion, settle migrations.
+
+    Returns ``(runner, finished, records)`` where ``records`` is the
+    fingerprintable per-request log shared by both scenarios.
+    """
+    runner = ShardedExperimentRunner(
+        _rebalance_experiment_config(cfg, workload, fault_plan),
+        record_results=True,
+    )
+    sim = runner.sim
+    finished = True
+    try:
+        sim.run_until_triggered(all_of(sim, runner._drivers),
+                                limit=cfg.time_limit)
+    except SimulationError:
+        finished = False
+    sim.run(until=sim.now + cfg.grace_s)
+    runner._elapsed_at_done = sim.now
+    if runner.rebalancer is not None:
+        runner._settle_rebalancer()
+    records: List[Tuple[int, int, float, str, bool]] = []
+    for client_id, router in enumerate(runner.routers):
+        for index, request, result, t in router.log:
+            records.append((client_id, index, t,
+                            request.op, result.complete))
+    return runner, finished, records
+
+
+def _rebalance_counters(runner) -> Dict[str, int]:
+    counters: Dict[str, int] = {}
+    if runner.injector is not None:
+        counters["packets-dropped"] = int(runner.injector.packets_dropped)
+    for field in RouterStats.FIELDS + RouterStats.REBALANCE_FIELDS:
+        counters[field.replace("_", "-")] = sum(
+            int(getattr(r, field)) for r in runner.router_stats
+        )
+    for field in RebalanceStats.FIELDS:
+        counters["rebalance-" + field.replace("_", "-")] = int(
+            getattr(runner.rebalance_stats, field)
+        )
+    counters["map-epoch"] = runner.live_map.epoch
+    counters["tiles"] = len(runner.live_map.tiles)
+    return counters
+
+
+def _fingerprint(report: ScenarioReport, name: str, cfg: ChaosConfig,
+                 records, counters: Dict[str, int]) -> None:
+    digest = hashlib.sha256()
+    digest.update(f"{name}:{cfg.seed}:{N_SHARDS}\n".encode())
+    for client_id, index, t, op, complete in sorted(records):
+        digest.update(
+            f"{client_id},{index},{t:.15e},{op},{int(complete)}\n".encode()
+        )
+    for key in sorted(counters):
+        digest.update(f"{key}={counters[key]}\n".encode())
+    report._fingerprint = digest.hexdigest()[:16]
+
+
+def run_rebalance_under_fault(cfg: ChaosConfig) -> ScenarioReport:
+    """Skewed reads drive splits + migrations while the link drops 30%."""
+    runner, finished, records = _run_rebalance_cluster(
+        "rebalance-under-fault", cfg, "search-skewed",
+        rebalance_fault_plan(cfg),
+    )
+    sim = runner.sim
+    global_tree = bulk_load(runner.dataset, max_entries=cfg.max_entries)
+
+    complete_mismatches = 0
+    degraded_mismatches = 0
+    degraded_total = 0
+    duplicates_dropped = 0
+    for router in runner.routers:
+        for _index, request, result, _t in router.log:
+            duplicates_dropped += result.duplicates_dropped
+            if not result.complete:
+                degraded_total += 1
+            if not result_consistent_rebalance(runner, global_tree,
+                                               request, result):
+                if result.complete:
+                    complete_mismatches += 1
+                else:
+                    degraded_mismatches += 1
+
+    counters = _rebalance_counters(runner)
+    stats = runner.rebalance_stats
+    issued = cfg.total_requests
+    completed = len(records)
+    report = ScenarioReport(
+        name="rebalance-under-fault",
+        seed=cfg.seed,
+        issued=issued,
+        completed=completed,
+        timeouts=counters["shard-timeouts"],
+        offload_errors=counters["shard-offload-errors"],
+        mismatches=complete_mismatches + degraded_mismatches,
+        retries=sum(int(s.request_retries) for s in runner.client_stats),
+        duplicates_suppressed=sum(
+            int(s.duplicates_suppressed) for s in runner.client_stats
+        ),
+        unexpected_messages=sum(
+            int(s.unexpected_messages) for s in runner.client_stats
+        ),
+        pre_rate=0.0,
+        post_rate=0.0,
+        end_time=sim.now,
+        counters=counters,
+    )
+
+    try:
+        runner.live_map.check_invariants()
+        invariants_hold, invariant_detail = True, "tiles disjoint + covering"
+    except ValueError as exc:
+        invariants_hold, invariant_detail = False, str(exc)
+    occupancy = runner.shard_occupancy()
+    checks: List[Tuple[str, bool, str]] = [
+        ("finished-in-time", finished,
+         f"drivers {'finished' if finished else 'still running'} at "
+         f"t={sim.now * 1e3:.3f}ms (limit {cfg.time_limit * 1e3:.0f}ms)"),
+        ("completed", completed == issued,
+         f"{completed}/{issued} requests returned a result "
+         f"({degraded_total} degraded)"),
+        ("complete-results-exact", complete_mismatches == 0,
+         f"{complete_mismatches} complete results disagreed with the "
+         f"single-tree oracle (migration must be invisible)"),
+        ("degraded-results-sound", degraded_mismatches == 0,
+         f"{degraded_mismatches} of {degraded_total} degraded results "
+         f"were unsound (invented ids / bad ordering)"),
+        ("splits-fired", int(stats.splits) > 0,
+         f"{int(stats.splits)} tile splits"),
+        ("migrations-completed",
+         int(stats.migrations_completed) > 0
+         and not runner.rebalancer.active_migrations,
+         f"{int(stats.migrations_completed)} migrations completed, "
+         f"{int(stats.items_migrated)} items moved"),
+        ("items-conserved", sum(occupancy) == cfg.dataset_size,
+         f"final occupancy {occupancy} sums to {sum(occupancy)} "
+         f"(dataset {cfg.dataset_size})"),
+        ("map-invariants", invariants_hold, invariant_detail),
+        ("fault-fired:packets-dropped",
+         counters.get("packets-dropped", 0) > 0,
+         f"counter = {counters.get('packets-dropped', 0)}"),
+    ]
+    report.invariants = checks
+    _fingerprint(report, "rebalance-under-fault", cfg, records, counters)
+    return report
+
+
+def run_migration_racing_writes(cfg: ChaosConfig) -> ScenarioReport:
+    """Hybrid writes race the migration copy/cut-over/drain windows."""
+    runner, finished, records = _run_rebalance_cluster(
+        "migration-racing-writes", cfg, "hybrid", None,
+    )
+    sim = runner.sim
+    stats = runner.rebalance_stats
+    windows = runner.rebalancer.migration_windows
+
+    acked_inserts: List[int] = []
+    unacked_inserts: List[int] = []
+    inserts_in_window = 0
+    duplicate_read_ids = 0
+    for router in runner.routers:
+        for _index, request, result, t in router.log:
+            if request.op == OP_INSERT:
+                # A complete insert was acked by its owner shard (the
+                # FM reply payload itself is an empty segment list).
+                if result.complete:
+                    acked_inserts.append(request.data_id)
+                    if any(start <= t <= (end if end is not None else t)
+                           for start, end in windows):
+                        inserts_in_window += 1
+                else:
+                    # A timed-out insert may still have been applied
+                    # server-side before the ack was lost: ambiguous.
+                    unacked_inserts.append(request.data_id)
+            elif request.op in READ_OPS and isinstance(result.results,
+                                                       list):
+                ids = [d for _r, d in result.results]
+                duplicate_read_ids += len(ids) - len(set(ids))
+
+    # Conservation: after settling, the union of the shard trees must
+    # hold the dataset plus every acked insert exactly once each.
+    # Unacked (timed-out) insert attempts are ambiguous — the server
+    # may have applied them before the reply was lost — so their ids
+    # are allowed to appear at most once, but nothing else may.
+    held: List[int] = []
+    for stack in runner.shards:
+        held.extend(
+            entry.data_id
+            for node in stack.server.tree.nodes.values()
+            if node.level == 0
+            for entry in node.entries
+        )
+    held_counts = Counter(held)
+    expected_ids = sorted(
+        [data_id for _rect, data_id in runner.dataset] + acked_inserts
+    )
+    expected_set = set(expected_ids)
+    ambiguous = set(unacked_inserts) - expected_set
+    missing = [d for d in expected_ids if held_counts.get(d, 0) != 1]
+    extras = [
+        d for d, n in held_counts.items()
+        if d not in expected_set and (d not in ambiguous or n != 1)
+    ]
+    conserved = not missing and not extras
+
+    counters = _rebalance_counters(runner)
+    counters["acked-inserts"] = len(acked_inserts)
+    counters["inserts-in-migration-window"] = inserts_in_window
+    issued = cfg.total_requests
+    completed = len(records)
+    report = ScenarioReport(
+        name="migration-racing-writes",
+        seed=cfg.seed,
+        issued=issued,
+        completed=completed,
+        timeouts=counters["shard-timeouts"],
+        offload_errors=counters["shard-offload-errors"],
+        mismatches=0 if conserved else 1,
+        retries=sum(int(s.request_retries) for s in runner.client_stats),
+        duplicates_suppressed=sum(
+            int(s.duplicates_suppressed) for s in runner.client_stats
+        ),
+        unexpected_messages=sum(
+            int(s.unexpected_messages) for s in runner.client_stats
+        ),
+        pre_rate=0.0,
+        post_rate=0.0,
+        end_time=sim.now,
+        counters=counters,
+    )
+
+    try:
+        runner.live_map.check_invariants()
+        invariants_hold, invariant_detail = True, "tiles disjoint + covering"
+    except ValueError as exc:
+        invariants_hold, invariant_detail = False, str(exc)
+    checks: List[Tuple[str, bool, str]] = [
+        ("finished-in-time", finished,
+         f"drivers {'finished' if finished else 'still running'} at "
+         f"t={sim.now * 1e3:.3f}ms (limit {cfg.time_limit * 1e3:.0f}ms)"),
+        ("completed", completed == issued,
+         f"{completed}/{issued} requests returned a result"),
+        ("migrations-completed",
+         int(stats.migrations_completed) > 0
+         and not runner.rebalancer.active_migrations,
+         f"{int(stats.migrations_completed)} migrations completed, "
+         f"{int(stats.items_migrated)} items moved"),
+        ("writes-raced-migration", inserts_in_window > 0,
+         f"{inserts_in_window} of {len(acked_inserts)} acked inserts "
+         f"landed inside a migration window"),
+        ("conservation-exact", conserved,
+         f"{len(held)} items across final trees vs "
+         f"{len(expected_ids)} expected (dataset + acked inserts, "
+         f"{len(ambiguous)} unacked attempts ambiguous), "
+         f"{'exact' if conserved else 'MISMATCH'}"),
+        ("reads-exactly-once", duplicate_read_ids == 0,
+         f"{duplicate_read_ids} duplicate ids delivered to clients"),
+        ("map-invariants", invariants_hold, invariant_detail),
+    ]
+    report.invariants = checks
+    _fingerprint(report, "migration-racing-writes", cfg, records, counters)
     return report

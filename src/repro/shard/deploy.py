@@ -38,6 +38,7 @@ from ..sim.rng import RngRegistry
 from ..workloads.datasets import uniform_dataset
 from ..workloads.mixes import make_workload
 from .partition import Partition, ShardMap, partition_str
+from .rebalance import RebalanceController, RebalanceStats
 from .router import RouterStats, ScatterGatherRouter
 
 
@@ -108,6 +109,20 @@ class ShardedExperimentRunner:
         self.dataset = items
         self.partition: Partition = partition_str(items, self.n_shards)
 
+        # Elastic shard plane (PR 10): when rebalancing is on, every
+        # client routes through ONE shared live map (epoch-versioned) and
+        # a RebalanceController revises it in the background; otherwise
+        # each client keeps its own static copy (the PR 4 behaviour all
+        # golden fingerprints are pinned on).
+        rb = config.rebalance
+        self.rebalance_cfg = rb if (rb is not None and rb.enabled) else None
+        self.live_map: Optional[ShardMap] = (
+            self.partition.shard_map.copy()
+            if self.rebalance_cfg is not None else None
+        )
+        self.rebalancer: Optional[RebalanceController] = None
+        self.rebalance_stats: Optional[RebalanceStats] = None
+
         self.injector: Optional[FaultInjector] = None
         if config.fault_plan:
             self.injector = FaultInjector(
@@ -157,6 +172,13 @@ class ShardedExperimentRunner:
             )
         for shard in self.shards:
             shard.start_heartbeats()
+        if self.rebalance_cfg is not None:
+            self.rebalance_stats = RebalanceStats()
+            self.rebalancer = RebalanceController(
+                self.sim, self.live_map, self.shards,
+                self.rebalance_cfg, stats=self.rebalance_stats,
+            )
+            self.rebalancer.start()
         self._register_metrics()
 
     # -- construction ------------------------------------------------------
@@ -184,6 +206,15 @@ class ShardedExperimentRunner:
             # client-side RNGs are shard-derived (``(seed, shard_id)``
             # then per-client forks), so adding shards never perturbs
             # the retry/back-off draws against existing shards.
+            # Static plane: each client gets its own map copy —
+            # note_insert is client-local routing state, like a real
+            # client cache.  Under rebalancing every client shares the
+            # ONE live map the controller revises, and routes reads
+            # across epoch cuts (re-scatter + dedup = exactly-once).
+            shard_map = (
+                self.live_map if self.live_map is not None
+                else ShardMap(list(self.partition.shard_map))
+            )
             router = ScatterGatherRouter.from_factory(
                 self.factory,
                 client_id,
@@ -191,12 +222,11 @@ class ShardedExperimentRunner:
                 host,
                 stats,
                 lambda k, i=client_id: self.rngs.shard(k).fork(f"client-{i}"),
-                # Each client gets its own map copy: note_insert is
-                # client-local routing state, like a real client cache.
-                ShardMap(list(self.partition.shard_map)),
+                shard_map,
                 router_stats=router_stats,
                 breaker_params=config.breaker,
                 record=self._record_results,
+                epoch_aware=self.live_map is not None,
             )
             shard_sessions = router.sessions
             # Workload stream identical to the single-server runner: the
@@ -241,18 +271,33 @@ class ShardedExperimentRunner:
                 lambda f=field: sum(int(getattr(s, f)) for s in stats_list),
             )
         router_stats = self.router_stats
-        for field in RouterStats.FIELDS:
+        for field in RouterStats.FIELDS + RouterStats.REBALANCE_FIELDS:
             m.expose(
                 f"router.{field}",
                 lambda f=field: sum(int(getattr(r, f))
                                     for r in router_stats),
             )
+        if self.rebalance_stats is not None:
+            self.rebalance_stats.register_into(m)
+            m.expose("shard.map_epoch", lambda: self.live_map.epoch)
+            m.expose("shard.tiles", lambda: len(self.live_map.tiles))
         # Client-side policy counters (offload engine / Algorithm 1 /
         # bandit), summed over every client's per-shard sessions — the
         # same names the single-server runner exposes.
         register_session_aggregates(
             m, [s for per_client in self.sessions for s in per_client],
         )
+
+    # -- occupancy ---------------------------------------------------------
+
+    def initial_occupancy(self) -> List[int]:
+        """Items per shard at partition time (before any routed write)."""
+        return [len(slice_items)
+                for slice_items in self.partition.assignments]
+
+    def shard_occupancy(self) -> List[int]:
+        """Items per shard right now (exact leaf walk per stack)."""
+        return [stack.items_held() for stack in self.shards]
 
     def _mean_cpu_utilization(self) -> float:
         return (sum(s.host.cpu.utilization() for s in self.shards)
@@ -267,11 +312,57 @@ class ShardedExperimentRunner:
         """Run until every client finished its request stream."""
         done = all_of(self.sim, self._drivers)
         self.sim.run_until_triggered(done)
+        self._elapsed_at_done = self.sim.now
+        if self.rebalancer is not None:
+            self._settle_rebalancer()
         return self._collect()
+
+    def _settle_rebalancer(self) -> None:
+        """Let an in-flight migration finish after the drivers are done.
+
+        Foreground accounting (elapsed, throughput) is frozen at
+        ``_elapsed_at_done``; this only runs the controller's remaining
+        copy/drain/delete work so no run ends with an item transiently on
+        two shards (the conservation checks depend on that).
+        """
+        self.rebalancer.stop()
+        step = max(self.rebalance_cfg.interval, self.rebalance_cfg.drain_s)
+        for _ in range(10_000):
+            if not self.rebalancer.active_migrations:
+                break
+            self.sim.run(until=self.sim.now + step)
+        else:
+            raise RuntimeError("rebalancer failed to settle")
+
+    def _extra(self) -> dict:
+        """RunResult.extra payload (excluded from result fingerprints, so
+        the occupancy report is safe to grow)."""
+        extra = {
+            "n_shards": float(self.n_shards),
+            "partial_results": float(sum(
+                int(r.partial_results) for r in self.router_stats
+            )),
+            "shards_pruned": float(sum(
+                int(r.shards_pruned) for r in self.router_stats
+            )),
+        }
+        for shard_id, held in enumerate(self.shard_occupancy()):
+            extra[f"shard{shard_id}_items"] = float(held)
+        if self.rebalance_stats is not None:
+            for name, value in self.rebalance_stats.snapshot().items():
+                extra[f"rebalance_{name}"] = float(value)
+            extra["map_epoch"] = float(self.live_map.epoch)
+            extra["epoch_rescatters"] = float(sum(
+                int(r.epoch_rescatters) for r in self.router_stats
+            ))
+            extra["rescattered_subqueries"] = float(sum(
+                int(r.rescattered_subqueries) for r in self.router_stats
+            ))
+        return extra
 
     def _collect(self) -> RunResult:
         config = self.config
-        elapsed = self.sim.now
+        elapsed = getattr(self, "_elapsed_at_done", self.sim.now)
         merged = merge_client_stats(self.client_stats)
         total = int(merged.requests_sent)
         throughput_kops = (total / elapsed / 1e3) if elapsed > 0 else 0.0
@@ -328,15 +419,7 @@ class ShardedExperimentRunner:
             inserts_served=sum(
                 int(s.server.inserts_served) for s in self.shards
             ),
-            extra={
-                "n_shards": float(self.n_shards),
-                "partial_results": float(sum(
-                    int(r.partial_results) for r in self.router_stats
-                )),
-                "shards_pruned": float(sum(
-                    int(r.shards_pruned) for r in self.router_stats
-                )),
-            },
+            extra=self._extra(),
             metrics=snapshot_document(
                 self.metrics,
                 tracer=self.tracer if config.trace else None,

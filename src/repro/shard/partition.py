@@ -17,9 +17,25 @@ Two rectangles describe each shard:
   intersects the query, which is exact: each item lives in exactly one
   shard, and that shard's MBR covers it entirely.
 
-The map is compact — K tiles + K MBRs + K counts — which is what the
+The map is compact — tiles + K MBRs + K counts — which is what the
 router consults per query (RDMAvisor's thin-routing-layer argument: keep
 the per-query routing state small enough to live client-side).
+
+Under rebalancing the routing granularity tightens: each tile carries
+the MBR of the items whose centers it contains, and each shard a
+*stray* cover for items it holds outside its owned tiles (writes that
+raced a cut-over, source leftovers mid-cleanup).  The epoch-aware read
+scatter (:meth:`ShardMap.read_targets`) unions tile-MBR hits with
+stray hits — a shard-level box over disjoint migrated regions would
+grow uselessly fat and drag the old owner into every query forever.
+
+The map is also *versioned*: every revision (tile split, tile merge,
+tile reassignment, shard-content update) bumps ``epoch``.  The static
+case never revises, so ``epoch`` stays 0 and routing is exactly the
+PR 4 behaviour; under rebalancing (see :mod:`repro.shard.rebalance`)
+the epoch is the router's cheap "did the plane move under me?" probe —
+a query that scatters at epoch E and gathers at epoch E' > E re-reads
+the map and re-scatters to any shard that newly covers its region.
 """
 
 from __future__ import annotations
@@ -35,12 +51,27 @@ from ..rtree.geometry import Rect
 _INF = float("inf")
 
 
+def tile_contains(tile: Rect, cx: float, cy: float) -> bool:
+    """Half-open tile containment (max edges exclusive, inf edges total).
+
+    The rule every owner lookup uses: borders between tiles are
+    unambiguous because only the lower tile's max edge is exclusive,
+    and the outermost (infinite) edges accept everything beyond them.
+    """
+    return (tile.minx <= cx and (cx < tile.maxx or tile.maxx == _INF)
+            and tile.miny <= cy
+            and (cy < tile.maxy or tile.maxy == _INF))
+
+
 @dataclass(frozen=True)
 class ShardInfo:
     """One shard's routing entry in the shard map."""
 
     shard_id: int
-    #: Disjoint routing cell (plane-covering; used for write routing).
+    #: The shard's *home* routing cell at construction time.  Ownership
+    #: lookups go through the map's tile table (which starts as one tile
+    #: per shard and diverges under split/merge/reassign); this rect is
+    #: kept for construction and introspection.
     tile: Rect
     #: MBR of the shard's current contents; None while the shard is empty.
     mbr: Optional[Rect]
@@ -48,10 +79,27 @@ class ShardInfo:
     count: int
 
 
-class ShardMap:
-    """The compact client-side routing table of a sharded cluster."""
+@dataclass(frozen=True)
+class TileEntry:
+    """One routing cell of the (possibly revised) plane tiling."""
 
-    def __init__(self, shards: Sequence[ShardInfo]):
+    rect: Rect
+    owner: int
+    #: MBR of the owner's items whose *centers* lie in this tile (items
+    #: are assigned by center, so rects overhang the tile; the MBR covers
+    #: the overhang).  None while no item is known to live here.  Kept
+    #: conservative: grown by routed writes and tile handoffs, recomputed
+    #: exactly only by the migration cleanup's rebuild.
+    mbr: Optional[Rect] = None
+
+
+class ShardMap:
+    """The compact, epoch-versioned routing table of a sharded cluster."""
+
+    def __init__(self, shards: Sequence[ShardInfo],
+                 tiles: Optional[Sequence[TileEntry]] = None,
+                 epoch: int = 0,
+                 stray_mbrs: Optional[Sequence[Optional[Rect]]] = None):
         if not shards:
             raise ValueError("a shard map needs at least one shard")
         self._shards: List[ShardInfo] = list(shards)
@@ -61,6 +109,31 @@ class ShardMap:
                     f"shard ids must be dense: slot {index} holds "
                     f"{info.shard_id}"
                 )
+        #: The routing tiles.  Defaults to one home tile per shard (the
+        #: static plane); revisions split/merge/reassign entries.
+        self._tiles: List[TileEntry] = (
+            list(tiles) if tiles is not None
+            else [TileEntry(info.tile, info.shard_id, info.mbr)
+                  for info in self._shards]
+        )
+        for entry in self._tiles:
+            if not 0 <= entry.owner < len(self._shards):
+                raise ValueError(
+                    f"tile owner {entry.owner} outside shard range"
+                )
+        #: Per-shard cover of *stray* items — items the shard holds whose
+        #: center lies outside its owned tiles (writes that raced a
+        #: cut-over, source leftovers mid-cleanup).  None when no stray
+        #: can exist; the epoch-aware read scatter unions it in.
+        self._stray_mbrs: List[Optional[Rect]] = (
+            list(stray_mbrs) if stray_mbrs is not None
+            else [None] * len(self._shards)
+        )
+        if len(self._stray_mbrs) != len(self._shards):
+            raise ValueError("stray_mbrs must have one entry per shard")
+        #: Revision counter: bumped by every split/merge/reassign/content
+        #: update.  0 means the plane never moved (the static case).
+        self.epoch = epoch
 
     def __len__(self) -> int:
         return len(self._shards)
@@ -75,6 +148,29 @@ class ShardMap:
     def n_shards(self) -> int:
         return len(self._shards)
 
+    @property
+    def tiles(self) -> Tuple[TileEntry, ...]:
+        return tuple(self._tiles)
+
+    def copy(self) -> "ShardMap":
+        """Epoch-preserving deep-enough copy (entries are frozen)."""
+        return ShardMap(list(self._shards), tiles=list(self._tiles),
+                        epoch=self.epoch,
+                        stray_mbrs=list(self._stray_mbrs))
+
+    def stray_mbr(self, shard_id: int) -> Optional[Rect]:
+        """The shard's stray-item cover (None when no stray can exist)."""
+        return self._stray_mbrs[shard_id]
+
+    def owned_tiles(self, shard_id: int) -> List[Tuple[int, TileEntry]]:
+        """The ``(index, entry)`` tiles currently owned by a shard."""
+        return [(index, entry) for index, entry in enumerate(self._tiles)
+                if entry.owner == shard_id]
+
+    def counts(self) -> List[int]:
+        """Per-shard item counts (occupancy snapshot)."""
+        return [info.count for info in self._shards]
+
     # -- read routing ------------------------------------------------------
 
     def shards_for(self, rect: Rect) -> List[int]:
@@ -84,6 +180,25 @@ class ShardMap:
             for info in self._shards
             if info.mbr is not None and info.mbr.intersects(rect)
         ]
+
+    def read_targets(self, rect: Rect) -> List[int]:
+        """Tile-granular read scatter set (the epoch-aware router's).
+
+        A shard-level MBR turns into a uselessly fat bounding box once
+        migrations hand a shard disjoint regions of the plane; routing
+        by per-tile content MBRs keeps the scatter set tight.  Exact:
+        every item either has its center in some tile owned by its
+        shard (that tile's MBR covers the whole rect, overhang
+        included) or is a stray covered by its shard's stray cover.
+        """
+        out = set()
+        for entry in self._tiles:
+            if entry.mbr is not None and entry.mbr.intersects(rect):
+                out.add(entry.owner)
+        for shard_id, stray in enumerate(self._stray_mbrs):
+            if stray is not None and stray.intersects(rect):
+                out.add(shard_id)
+        return sorted(out)
 
     def nonempty_shards(self) -> List[int]:
         """Shards holding at least one item (kNN scatters to all of them)."""
@@ -95,23 +210,35 @@ class ShardMap:
     def owner_of(self, rect: Rect) -> int:
         """The single shard owning ``rect`` (tile containing its center)."""
         cx, cy = rect.center()
-        for info in self._shards:
-            tile = info.tile
+        for entry in self._tiles:
             # Half-open on the max edges so tile borders are unambiguous
             # (the outermost tiles are unbounded, so every point matches).
-            if (tile.minx <= cx and (cx < tile.maxx or tile.maxx == _INF)
-                    and tile.miny <= cy
-                    and (cy < tile.maxy or tile.maxy == _INF)):
-                return info.shard_id
+            if tile_contains(entry.rect, cx, cy):
+                return entry.owner
         # Unreachable: the tiles cover the plane.
         raise AssertionError(f"no tile covers center ({cx}, {cy})")
+
+    def _grow_cover(self, shard_id: int, rect: Rect) -> None:
+        """Grow the tile (or stray) cover for an item landing on a shard:
+        the tile the shard owns containing the rect's center, else the
+        shard's stray cover (the write raced a cut-over)."""
+        cx, cy = rect.center()
+        for index, entry in enumerate(self._tiles):
+            if entry.owner == shard_id and tile_contains(entry.rect, cx, cy):
+                mbr = rect if entry.mbr is None else entry.mbr.union(rect)
+                self._tiles[index] = TileEntry(entry.rect, entry.owner, mbr)
+                return
+        stray = self._stray_mbrs[shard_id]
+        self._stray_mbrs[shard_id] = (
+            rect if stray is None else stray.union(rect)
+        )
 
     def note_insert(self, shard_id: int, rect: Rect) -> None:
         """Grow a shard's MBR after routing an insert to it.
 
-        The map is client-side state: keeping it in sync with the writes
-        this client routed is what keeps later reads exact (an insert
-        overhanging the shard MBR must widen the scatter set).
+        Keeping the map in sync with the writes routed through it is what
+        keeps later reads exact (an insert overhanging the shard MBR must
+        widen the scatter set).
         """
         info = self._shards[shard_id]
         mbr = rect if info.mbr is None else info.mbr.union(rect)
@@ -119,6 +246,225 @@ class ShardMap:
             shard_id=shard_id, tile=info.tile, mbr=mbr,
             count=info.count + 1,
         )
+        self._grow_cover(shard_id, rect)
+
+    def note_delete(self, shard_id: int) -> None:
+        """Account a routed delete.  The MBR cannot shrink exactly without
+        the shard's contents, so it only collapses when the count hits 0;
+        otherwise it stays a (conservative, still exact) superset."""
+        info = self._shards[shard_id]
+        count = max(0, info.count - 1)
+        self._shards[shard_id] = ShardInfo(
+            shard_id=shard_id, tile=info.tile,
+            mbr=info.mbr if count else None, count=count,
+        )
+
+    def note_update(self, shard_id: int, new_rect: Rect) -> None:
+        """Widen a shard's MBR after a routed in-place update."""
+        info = self._shards[shard_id]
+        mbr = new_rect if info.mbr is None else info.mbr.union(new_rect)
+        self._shards[shard_id] = ShardInfo(
+            shard_id=shard_id, tile=info.tile, mbr=mbr, count=info.count,
+        )
+        self._grow_cover(shard_id, new_rect)
+
+    # -- revisions (each bumps the epoch) ----------------------------------
+
+    def split_tile(self, index: int, axis: str, cut: float,
+                   low_mbr: Optional[Rect] = None,
+                   high_mbr: Optional[Rect] = None) -> Tuple[int, int]:
+        """Split tile ``index`` at ``cut`` along ``axis`` ("x"/"y").
+
+        Both halves keep the owner.  ``low_mbr``/``high_mbr`` are the
+        halves' content MBRs when the caller knows the contents (the
+        rebalance controller scanned them to plan the cut); when omitted
+        both halves inherit the parent's MBR — conservative, still
+        exact.  Returns ``(low_index, high_index)``.
+        """
+        entry = self._tiles[index]
+        r = entry.rect
+        if axis == "x":
+            if not r.minx < cut < r.maxx:
+                raise ValueError(
+                    f"cut {cut} outside tile x-range ({r.minx}, {r.maxx})"
+                )
+            low = Rect(r.minx, r.miny, cut, r.maxy)
+            high = Rect(cut, r.miny, r.maxx, r.maxy)
+        elif axis == "y":
+            if not r.miny < cut < r.maxy:
+                raise ValueError(
+                    f"cut {cut} outside tile y-range ({r.miny}, {r.maxy})"
+                )
+            low = Rect(r.minx, r.miny, r.maxx, cut)
+            high = Rect(r.minx, cut, r.maxx, r.maxy)
+        else:
+            raise ValueError(f"axis must be 'x' or 'y', got {axis!r}")
+        if low_mbr is None and high_mbr is None:
+            low_mbr = high_mbr = entry.mbr
+        self._tiles[index] = TileEntry(low, entry.owner, low_mbr)
+        self._tiles.append(TileEntry(high, entry.owner, high_mbr))
+        self.epoch += 1
+        return index, len(self._tiles) - 1
+
+    def merge_tiles(self, index_a: int, index_b: int) -> int:
+        """Merge two same-owner tiles whose union is an exact rectangle.
+
+        Returns the surviving tile index (the lower of the two; the
+        higher slot is removed, shifting later indices down by one).
+        """
+        a, b = self._tiles[index_a], self._tiles[index_b]
+        if index_a == index_b:
+            raise ValueError("cannot merge a tile with itself")
+        if a.owner != b.owner:
+            raise ValueError(
+                f"tiles owned by different shards ({a.owner} vs {b.owner})"
+            )
+        merged = _exact_union(a.rect, b.rect)
+        if merged is None:
+            raise ValueError(
+                f"tiles {a.rect} and {b.rect} do not form a rectangle"
+            )
+        keep, drop = sorted((index_a, index_b))
+        if a.mbr is None:
+            mbr = b.mbr
+        elif b.mbr is None:
+            mbr = a.mbr
+        else:
+            mbr = a.mbr.union(b.mbr)
+        self._tiles[keep] = TileEntry(merged, a.owner, mbr)
+        del self._tiles[drop]
+        self.epoch += 1
+        return keep
+
+    def reassign_tile(self, index: int, new_owner: int,
+                      moved_count: int = 0,
+                      moved_mbr: Optional[Rect] = None) -> int:
+        """Hand tile ``index`` to ``new_owner`` (the migration cut-over).
+
+        ``moved_count``/``moved_mbr`` describe the items crossing with
+        the tile: the source's count drops, the destination's count and
+        MBR grow, so reads target the destination from this epoch on.
+        Returns the previous owner.
+        """
+        entry = self._tiles[index]
+        old_owner = entry.owner
+        if not 0 <= new_owner < len(self._shards):
+            raise ValueError(f"no shard {new_owner} in this map")
+        if new_owner == old_owner:
+            raise ValueError(f"tile {index} already owned by {new_owner}")
+        # The tile's content MBR travels with it (the destination holds
+        # copies of everything it covered).  The source may still hold
+        # items under this tile — copies pending cleanup, plus writes
+        # that raced the cut-over — so the tile MBR also joins the
+        # source's stray cover until a rebuild recomputes it exactly.
+        self._tiles[index] = TileEntry(entry.rect, new_owner, entry.mbr)
+        if entry.mbr is not None:
+            stray = self._stray_mbrs[old_owner]
+            self._stray_mbrs[old_owner] = (
+                entry.mbr if stray is None else stray.union(entry.mbr)
+            )
+        if moved_count or moved_mbr is not None:
+            src = self._shards[old_owner]
+            self._shards[old_owner] = ShardInfo(
+                old_owner, src.tile, src.mbr,
+                max(0, src.count - moved_count),
+            )
+            dst = self._shards[new_owner]
+            mbr = dst.mbr
+            if moved_mbr is not None:
+                mbr = moved_mbr if mbr is None else mbr.union(moved_mbr)
+            self._shards[new_owner] = ShardInfo(
+                new_owner, dst.tile, mbr, dst.count + moved_count,
+            )
+        self.epoch += 1
+        return old_owner
+
+    def set_shard_contents(self, shard_id: int, mbr: Optional[Rect],
+                           count: int) -> None:
+        """Replace a shard's content summary (post-migration recompute)."""
+        info = self._shards[shard_id]
+        self._shards[shard_id] = ShardInfo(shard_id, info.tile, mbr, count)
+        self.epoch += 1
+
+    def rebuild_shard_summary(
+        self, shard_id: int, items: Sequence[Tuple[Rect, int]]
+    ) -> None:
+        """Exact recompute of one shard's routing state from a scan of
+        its contents: per-owned-tile MBRs, the stray cover, the shard
+        MBR and count — the migration cleanup's final step.  One epoch
+        bump.  Safe against racing inserts because the caller scans the
+        tree (mutations apply before any CPU is charged, so the scan
+        sees at least everything acked; later writes re-grow the covers
+        through ``note_insert``/``note_update`` at ack time)."""
+        owned = self.owned_tiles(shard_id)
+        tile_mbrs: dict = {index: None for index, _entry in owned}
+        stray: Optional[Rect] = None
+        shard_mbr: Optional[Rect] = None
+        for rect, _data_id in items:
+            shard_mbr = rect if shard_mbr is None else shard_mbr.union(rect)
+            cx, cy = rect.center()
+            for index, entry in owned:
+                if tile_contains(entry.rect, cx, cy):
+                    held = tile_mbrs[index]
+                    tile_mbrs[index] = (
+                        rect if held is None else held.union(rect)
+                    )
+                    break
+            else:
+                stray = rect if stray is None else stray.union(rect)
+        for index, entry in owned:
+            self._tiles[index] = TileEntry(
+                entry.rect, entry.owner, tile_mbrs[index]
+            )
+        self._stray_mbrs[shard_id] = stray
+        info = self._shards[shard_id]
+        self._shards[shard_id] = ShardInfo(
+            shard_id, info.tile, shard_mbr, len(items)
+        )
+        self.epoch += 1
+
+    def check_invariants(self) -> None:
+        """Raise ``ValueError`` unless the tiles are pairwise disjoint and
+        cover the plane.
+
+        Probes a grid built from every finite tile edge: midpoints
+        between adjacent cuts, points exactly *on* each cut (exercising
+        the half-open rule), and points beyond the outermost finite cuts
+        (exercising the infinite borders).  Each probe must land in
+        exactly one tile.  Exact — no floating-point area sums against
+        infinite tiles.
+        """
+        def _axis_cuts(lo_key, hi_key) -> List[float]:
+            return sorted({
+                c for entry in self._tiles
+                for c in (lo_key(entry.rect), hi_key(entry.rect))
+                if math.isfinite(c)
+            })
+
+        def _probes(cuts: List[float]) -> List[float]:
+            if not cuts:
+                return [0.0]
+            points = [cuts[0] - 1.0]
+            points.extend(cuts)
+            points.extend((a + b) / 2.0
+                          for a, b in zip(cuts, cuts[1:]) if b > a)
+            points.append(cuts[-1] + 1.0)
+            return points
+
+        xs = _probes(_axis_cuts(lambda r: r.minx, lambda r: r.maxx))
+        ys = _probes(_axis_cuts(lambda r: r.miny, lambda r: r.maxy))
+        for cx in xs:
+            for cy in ys:
+                owners = [
+                    index for index, entry in enumerate(self._tiles)
+                    if tile_contains(entry.rect, cx, cy)
+                ]
+                if len(owners) != 1:
+                    raise ValueError(
+                        f"point ({cx}, {cy}) covered by tiles {owners} "
+                        f"(epoch {self.epoch}): tiles must stay disjoint "
+                        f"and plane-covering"
+                    )
 
     def describe(self) -> List[str]:
         """One human-readable line per shard."""
@@ -222,6 +568,23 @@ def partition_str(
         assignments.append(contents)
 
     return Partition(ShardMap(shards), tuple(assignments))
+
+
+def _exact_union(a: Rect, b: Rect) -> Optional[Rect]:
+    """The union of two rects iff it is exactly a rectangle (they share a
+    full edge); None otherwise.  Works with infinite edges: equality of
+    the shared coordinates is all that is needed."""
+    if a.miny == b.miny and a.maxy == b.maxy:
+        if a.maxx == b.minx:
+            return Rect(a.minx, a.miny, b.maxx, a.maxy)
+        if b.maxx == a.minx:
+            return Rect(b.minx, a.miny, a.maxx, a.maxy)
+    if a.minx == b.minx and a.maxx == b.maxx:
+        if a.maxy == b.miny:
+            return Rect(a.minx, a.miny, a.maxx, b.maxy)
+        if b.maxy == a.miny:
+            return Rect(a.minx, b.miny, a.maxx, a.maxy)
+    return None
 
 
 def _even_split(total: int, parts: int) -> List[int]:

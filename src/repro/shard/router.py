@@ -119,16 +119,25 @@ class RouterStats:
     shard_offload_errors: Counter = field(default_factory=Counter)
     shard_skips: Counter = field(default_factory=Counter)
     duplicates_merged: Counter = field(default_factory=Counter)
+    #: Reads that detected an epoch bump between scatter and gather and
+    #: went back to the map for newly-covering shards.
+    epoch_rescatters: Counter = field(default_factory=Counter)
+    #: Extra sub-queries those re-scatters issued.
+    rescattered_subqueries: Counter = field(default_factory=Counter)
 
+    #: The PR 4 counter set.  The shard-loss chaos fingerprint digests
+    #: exactly these, so rebalance-era counters live in
+    #: ``REBALANCE_FIELDS`` — extend that tuple, never this one.
     FIELDS = (
         "queries_routed", "subqueries_issued", "shards_pruned",
         "partial_results", "shard_timeouts", "shard_offload_errors",
         "shard_skips", "duplicates_merged",
     )
+    REBALANCE_FIELDS = ("epoch_rescatters", "rescattered_subqueries")
 
     def register_into(self, registry: MetricsRegistry,
                       prefix: str = "router") -> None:
-        for name in self.FIELDS:
+        for name in self.FIELDS + self.REBALANCE_FIELDS:
             registry.adopt(f"{prefix}.{name}", getattr(self, name))
 
 
@@ -151,6 +160,8 @@ class ScatterGatherRouter:
         router_stats: Optional[RouterStats] = None,
         breaker_params: Optional[BreakerParams] = None,
         record: bool = False,
+        epoch_aware: bool = False,
+        max_rescatter_rounds: int = 4,
     ):
         if len(sessions) != shard_map.n_shards:
             raise ValueError(
@@ -178,6 +189,16 @@ class ScatterGatherRouter:
         self.record = record
         self.log: List[Tuple[int, Request, PartialResult, float]] = []
         self._index = 0
+        #: Routing across an epoch cut: when the shared live map's epoch
+        #: bumps between a read's scatter and its gather, re-consult the
+        #: map and query any shard that newly covers the region (the
+        #: dedup merge keeps the union exactly-once).  Off by default —
+        #: the static plane never bumps, and the fingerprint-pinned
+        #: non-rebalance paths stay byte-identical.
+        self.epoch_aware = epoch_aware
+        #: Bound on re-scatter rounds per read (a runaway revision storm
+        #: degrades to a best-effort answer instead of livelocking).
+        self.max_rescatter_rounds = max_rescatter_rounds
 
     @classmethod
     def from_factory(
@@ -192,6 +213,7 @@ class ScatterGatherRouter:
         router_stats: Optional[RouterStats] = None,
         breaker_params: Optional[BreakerParams] = None,
         record: bool = False,
+        epoch_aware: bool = False,
     ) -> "ScatterGatherRouter":
         """Build one client's router with per-shard sessions from the
         shared :class:`~repro.runtime.factory.SessionFactory`.
@@ -201,14 +223,13 @@ class ScatterGatherRouter:
         deployer) — shard-derived so adding shards never perturbs the
         retry/back-off draws against existing shards.
         """
-        sessions = [
-            factory.build(client_id, stack, host, stats, rng_for_shard(k))
-            for k, stack in enumerate(stacks)
-        ]
+        sessions = factory.build_shard_sessions(
+            client_id, stacks, host, stats, rng_for_shard,
+        )
         return cls(
             factory.sim, shard_map, sessions, stats,
             router_stats=router_stats, breaker_params=breaker_params,
-            record=record,
+            record=record, epoch_aware=epoch_aware,
         )
 
     # -- scatter target selection ------------------------------------------
@@ -219,6 +240,12 @@ class ScatterGatherRouter:
             # one of the k nearest.  (A two-phase radius refinement is a
             # possible optimization; correctness first.)
             return self.shard_map.nonempty_shards()
+        if self.epoch_aware:
+            # Tile-granular scatter: once migrations hand a shard
+            # disjoint regions, its shard-level MBR is a uselessly fat
+            # box; per-tile content MBRs plus the stray covers keep the
+            # fan-out tight (see ShardMap.read_targets).
+            return self.shard_map.read_targets(request.rect)
         return self.shard_map.shards_for(request.rect)
 
     # -- execution ---------------------------------------------------------
@@ -240,15 +267,52 @@ class ScatterGatherRouter:
         return result
 
     def _execute_write(self, request: Request) -> Generator:
-        """Writes go to exactly one shard: the tile owning the rect center."""
+        """Writes go to exactly one shard: the tile owning the rect center.
+
+        Epoch-aware deletes are the exception — they broadcast to every
+        shard whose MBR covers the rect, because during a migration's
+        copy window the item transiently lives in two trees (and a write
+        that raced an earlier cut-over may have left it overhanging its
+        owner tile); deleting it everywhere is what keeps a copy from
+        resurrecting it.
+        """
+        if self.epoch_aware and request.op == OP_DELETE:
+            return (yield from self._execute_delete_broadcast(request))
         owner = self.shard_map.owner_of(request.rect)
         status, reply = yield from self._sub_query(owner, request)
-        if request.op == OP_INSERT and status == OK:
-            self.shard_map.note_insert(owner, request.rect)
+        if status == OK:
+            if request.op == OP_INSERT:
+                self.shard_map.note_insert(owner, request.rect)
+            elif request.op == OP_DELETE:
+                self.shard_map.note_delete(owner)
+            elif request.op == OP_UPDATE and request.new_rect is not None:
+                self.shard_map.note_update(owner, request.new_rect)
         return PartialResult(
             op=request.op,
             results=(reply if status == OK else None),
             statuses={owner: status},
+        )
+
+    def _execute_delete_broadcast(self, request: Request) -> Generator:
+        """Delete from every shard that may hold the item (see above)."""
+        owner = self.shard_map.owner_of(request.rect)
+        targets = self.shard_map.shards_for(request.rect)
+        if owner not in targets:
+            targets.append(owner)
+        statuses: Dict[int, str] = {}
+        found_on = []
+        for shard_id in targets:
+            status, reply = yield from self._sub_query(shard_id, request)
+            statuses[shard_id] = status
+            if status == OK and reply:
+                found_on.append(shard_id)
+        for shard_id in found_on:
+            self.shard_map.note_delete(shard_id)
+        ok = any(statuses[s] == OK for s in targets)
+        return PartialResult(
+            op=request.op,
+            results=(bool(found_on) if ok else None),
+            statuses=statuses,
         )
 
     def _sub_query(self, shard_id: int, request: Request) -> Generator:
@@ -265,6 +329,8 @@ class ScatterGatherRouter:
         return OK, reply
 
     def _execute_read(self, request: Request) -> Generator:
+        if self.epoch_aware:
+            return (yield from self._execute_read_epoch(request))
         targets = self._read_targets(request)
         pruned = self.shard_map.n_shards - len(targets)
         if pruned:
@@ -296,6 +362,68 @@ class ScatterGatherRouter:
             # so the barrier always resolves; failures land in statuses,
             # never as exceptions (the gather wrapper catches them).
             yield all_of(self.sim, procs)
+        return self._merge(request, statuses, replies)
+
+    def _execute_read_epoch(self, request: Request) -> Generator:
+        """Scatter-gather across possible epoch cuts (rebalancing on).
+
+        Capture the map epoch at scatter; after the gather barrier, if
+        the epoch moved, re-read the map and query any shard that now
+        covers the region and was not queried yet (a migration's
+        cut-over hands a tile — and the moved items' MBR cover — to a
+        new owner mid-flight).  The dedup merge keeps the union of all
+        rounds exactly-once.  COUNT runs its sub-queries as searches:
+        during a migration's copy window an item transiently lives in
+        two trees, so only an id-level dedup count is exact.
+        """
+        sub_request = (Request(OP_SEARCH, request.rect)
+                       if request.op == OP_COUNT else request)
+        statuses: Dict[int, str] = {}
+        replies: List[Tuple[int, object]] = []
+        queried: set = set()
+        rounds = 0
+        while rounds < self.max_rescatter_rounds:
+            epoch = self.shard_map.epoch
+            targets = [s for s in self._read_targets(request)
+                       if s not in queried]
+            if not targets:
+                break
+            if rounds:
+                self.router_stats.epoch_rescatters += 1
+                self.router_stats.rescattered_subqueries += len(targets)
+            procs = []
+            skipped: List[int] = []
+            for shard_id in targets:
+                queried.add(shard_id)
+                breaker = (self.breakers[shard_id]
+                           if self.breakers is not None else None)
+                if breaker is not None and not breaker.allow():
+                    skipped.append(shard_id)
+                    continue
+                procs.append(self.sim.process(
+                    self._gather(shard_id, sub_request, statuses, replies),
+                    name=f"scatter-s{shard_id}",
+                ))
+            for shard_id in skipped:
+                statuses[shard_id] = SKIPPED
+                self.router_stats.shard_skips += 1
+            if procs:
+                yield all_of(self.sim, procs)
+            rounds += 1
+            if self.shard_map.epoch == epoch:
+                break
+        pruned = self.shard_map.n_shards - len(queried)
+        if pruned > 0:
+            self.router_stats.shards_pruned += pruned
+        if not queried:
+            empty = 0 if request.op == OP_COUNT else []
+            return PartialResult(op=request.op, results=empty, statuses={})
+        if request.op == OP_COUNT:
+            merged, duplicates = merge_search_replies(replies)
+            return PartialResult(
+                op=request.op, results=len(merged), statuses=statuses,
+                duplicates_dropped=duplicates,
+            )
         return self._merge(request, statuses, replies)
 
     def _gather(self, shard_id: int, request: Request,

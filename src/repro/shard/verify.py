@@ -14,6 +14,22 @@ pure ground truth for read queries.  Two checks follow:
 
 Used by ``repro shard`` (CLI verification run), the shard-loss chaos
 scenario, and the test suite.
+
+Under an elastic plane (``rebalance`` mode) the per-shard trees move
+*during* the run — migration copies an item to its destination before
+deleting it from its source — so the contract changes shape:
+
+* a **complete** result must still equal the single-tree oracle
+  *exactly*: every item lives in >= 1 shard tree at every instant and
+  the router's merge is dedup-exact, so migration must be invisible to
+  healthy reads (this is the property the rebalance chaos scenarios
+  pin);
+* a **degraded** result can no longer be replayed against "the answering
+  shards' trees" (those trees were mid-flight when the query ran), so it
+  is checked for *soundness* instead: nothing outside the global oracle,
+  counts within bounds, nearest pairs geometrically valid;
+* transient duplicates absorbed by the merge are expected (the copy
+  window), so ``duplicates_dropped`` stops being a failure.
 """
 
 from __future__ import annotations
@@ -75,6 +91,46 @@ def result_consistent(runner, tree, request: Request,
     raise ValueError(f"cannot oracle-check op {request.op!r}")
 
 
+def result_consistent_rebalance(runner, tree, request: Request,
+                                result: PartialResult) -> bool:
+    """Oracle check for one routed read of a *rebalancing* run.
+
+    Complete results are held to the exact single-tree oracle (migration
+    must be invisible); degraded results are checked for soundness — the
+    shard trees the answering shards held at query time no longer exist,
+    so exact degraded replay is undefined.
+    """
+    if request.op == OP_SEARCH:
+        got = tuple(sorted(d for _r, d in result.results))
+        oracle = tuple(sorted(tree.search(request.rect).data_ids))
+        if result.complete:
+            return got == oracle
+        # Sound: no invented ids, no id reported twice.
+        return len(got) == len(set(got)) and set(got) <= set(oracle)
+    if request.op == OP_COUNT:
+        oracle_n = len(tree.search(request.rect).data_ids)
+        if result.complete:
+            return result.results == oracle_n
+        return 0 <= result.results <= oracle_n
+    if request.op == OP_NEAREST:
+        cx, cy = request.rect.center()
+        got = [(r.min_dist2_point(cx, cy), d) for r, d in result.results]
+        if result.complete:
+            # Final trees partition the (read-only) dataset exactly, so
+            # the all-shards union replays the global top-k with the
+            # router's own (distance^2, id) tie-breaking.
+            return got == expected_nearest(
+                runner, request, range(runner.n_shards)
+            )
+        # Sound: real dataset ids, unique, router-ordered, <= k.
+        dataset_ids = {data_id for _rect, data_id in runner.dataset}
+        ids = [d for _d2, d in got]
+        if len(ids) != len(set(ids)) or len(got) > request.k:
+            return False
+        return set(ids) <= dataset_ids and got == sorted(got)
+    raise ValueError(f"cannot oracle-check op {request.op!r}")
+
+
 @dataclass
 class VerificationSummary:
     """Outcome of checking every recorded routed read against the oracle."""
@@ -86,13 +142,17 @@ class VerificationSummary:
     degraded_mismatches: int = 0
     duplicates_dropped: int = 0
     skipped_writes: int = 0
+    #: Set for rebalancing runs: the migration copy window legitimately
+    #: produces merge-absorbed duplicates, so they stop failing ``ok``.
+    allow_duplicates: bool = False
 
     @property
     def ok(self) -> bool:
         return (self.checked > 0
                 and self.complete_mismatches == 0
                 and self.degraded_mismatches == 0
-                and self.duplicates_dropped == 0)
+                and (self.allow_duplicates
+                     or self.duplicates_dropped == 0))
 
     def describe(self) -> List[str]:
         return [
@@ -116,7 +176,8 @@ def verify_routed_results(runner, tree=None) -> VerificationSummary:
     if tree is None:
         tree = bulk_load(runner.dataset,
                          max_entries=runner.config.max_entries)
-    summary = VerificationSummary()
+    rebalancing = getattr(runner, "rebalancer", None) is not None
+    summary = VerificationSummary(allow_duplicates=rebalancing)
     for router in runner.routers:
         for _index, request, result, _t in router.log:
             if request.op not in READ_OPS:
@@ -124,7 +185,11 @@ def verify_routed_results(runner, tree=None) -> VerificationSummary:
                 continue
             summary.checked += 1
             summary.duplicates_dropped += result.duplicates_dropped
-            consistent = result_consistent(runner, tree, request, result)
+            consistent = (
+                result_consistent_rebalance(runner, tree, request, result)
+                if rebalancing
+                else result_consistent(runner, tree, request, result)
+            )
             if result.complete:
                 summary.complete_results += 1
                 summary.complete_mismatches += 0 if consistent else 1

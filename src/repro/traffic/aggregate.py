@@ -45,6 +45,7 @@ class AggregateClient:
         mux: ConnectionMux,
         sojourn: LatencyRecorder,
         tenant_sojourn: Optional[dict] = None,
+        hotspots=None,
     ):
         if n_users < 1:
             raise ValueError(f"n_users must be >= 1, got {n_users}")
@@ -61,6 +62,9 @@ class AggregateClient:
         self.mux = mux
         self.sojourn = sojourn
         self.tenant_sojourn = tenant_sojourn
+        #: Optional Zipf-hotspot location source; None keeps the uniform
+        #: draw (the fingerprint-pinned default).
+        self.hotspots = hotspots
 
         #: One bit per virtual user; counts distinct users that arrived.
         self._touched = bytearray((n_users + 7) // 8)
@@ -97,8 +101,13 @@ class AggregateClient:
                 seq=self.arrivals - 1,
                 user_id=user_id,
                 tenant=tenant,
-                request=Request(OP_SEARCH,
-                                self.scale_gen.next_rect(self.workload_rng)),
+                request=Request(
+                    OP_SEARCH,
+                    (self.hotspots.next_rect(self.workload_rng,
+                                             self.scale_gen)
+                     if self.hotspots is not None
+                     else self.scale_gen.next_rect(self.workload_rng)),
+                ),
                 t_arrival=sim.now,
                 on_done=self._done,
             )

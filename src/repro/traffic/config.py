@@ -65,6 +65,11 @@ class TrafficConfig:
     spike_end: float = 2e-3
     spike_multiplier: float = 8.0
 
+    #: Draw query locations from Zipf hotspots instead of uniformly
+    #: (the skewed regime the elastic shard plane exists for).  Off by
+    #: default — the traffic golden fingerprints are pinned on uniform.
+    hotspot_skew: bool = False
+
     def __post_init__(self):
         if self.kind not in ARRIVAL_KINDS:
             raise ValueError(

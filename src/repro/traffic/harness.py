@@ -165,10 +165,21 @@ class TrafficRunner:
                                       NULL_TRACER)
         self.session_stats: List[ClientStats] = []
         self.sessions = []
+        self.rebalancer = None
+        self.rebalance_stats = None
+        self.live_map = None
         if self.n_shards > 1:
             from ..shard.partition import ShardMap, partition_str
             from ..shard.router import ScatterGatherRouter
             self.partition = partition_str(items, self.n_shards)
+            # Elastic plane under open-loop traffic: all mux sessions
+            # share the one live map the controller revises (same
+            # contract as the closed-loop sharded deployer).
+            rb = config.rebalance
+            self.rebalance_cfg = rb if (rb is not None and rb.enabled) \
+                else None
+            if self.rebalance_cfg is not None:
+                self.live_map = self.partition.shard_map.copy()
             self.stacks = [
                 ServerStack(
                     self.sim, self.profile, self.spec, config,
@@ -186,11 +197,24 @@ class TrafficRunner:
                     self.factory, i, self.stacks, host, stats,
                     lambda k, i=i: self.rngs.shard(k).fork(
                         f"traffic-session-{i}"),
-                    ShardMap(list(self.partition.shard_map)),
+                    (self.live_map if self.live_map is not None
+                     else ShardMap(list(self.partition.shard_map))),
                     breaker_params=config.breaker,
+                    epoch_aware=self.live_map is not None,
                 )
                 self.session_stats.append(stats)
                 self.sessions.append(router)
+            if self.rebalance_cfg is not None:
+                from ..shard.rebalance import (
+                    RebalanceController,
+                    RebalanceStats,
+                )
+                self.rebalance_stats = RebalanceStats()
+                self.rebalancer = RebalanceController(
+                    self.sim, self.live_map, self.stacks,
+                    self.rebalance_cfg, stats=self.rebalance_stats,
+                )
+                self.rebalancer.start()
         else:
             self.partition = None
             self.stacks = [ServerStack(
@@ -224,6 +248,10 @@ class TrafficRunner:
             name: LatencyRecorder() for name in self.traffic.tenant_names
         }
         scale_gen = scale_generator(config.scale)
+        hotspots = None
+        if self.traffic.hotspot_skew:
+            from ..workloads.skew import HotspotQueries
+            hotspots = HotspotQueries(seed=0)  # shared across aggregates
         self.aggregates: List[AggregateClient] = []
         for a in range(self.traffic.n_aggregates):
             arngs = self.rngs.fork(f"aggregate-{a}")
@@ -238,6 +266,7 @@ class TrafficRunner:
                 mux=self.mux,
                 sojourn=self.sojourn,
                 tenant_sojourn=self.tenant_sojourn,
+                hotspots=hotspots,
             ))
         self._register_metrics()
 
@@ -247,6 +276,10 @@ class TrafficRunner:
             stack.register_metrics(
                 m, label=f"shard{k}" if self.n_shards > 1 else None)
         self.mux.register_metrics(m)
+        if self.rebalance_stats is not None:
+            self.rebalance_stats.register_into(m)
+            m.expose("shard.map_epoch", lambda: self.live_map.epoch)
+            m.expose("shard.tiles", lambda: len(self.live_map.tiles))
         m.expose("traffic.arrivals",
                  lambda: sum(a.arrivals for a in self.aggregates))
         m.expose("traffic.shed_window",
@@ -270,6 +303,19 @@ class TrafficRunner:
         self.mux.close()
         sim.run_until_triggered(all_of(sim, self.mux.dispatchers),
                                 limit=limit)
+        if self.rebalancer is not None:
+            # Finish any in-flight migration so no deployment ends with
+            # an item transiently on two shards (foreground accounting
+            # below only reads per-request records, so this is free).
+            self.rebalancer.stop()
+            step = max(self.rebalance_cfg.interval,
+                       self.rebalance_cfg.drain_s)
+            for _ in range(10_000):
+                if not self.rebalancer.active_migrations:
+                    break
+                sim.run(until=sim.now + step)
+            else:
+                raise RuntimeError("rebalancer failed to settle")
         return self._collect()
 
     def _collect(self) -> TrafficResult:

@@ -38,6 +38,22 @@ def search_only(
     ]
 
 
+def skewed_search_only(
+    rng: random.Random, scale_gen, hotspots, n_requests: int
+) -> List[Request]:
+    """100% search with Zipf-hotspot query centres.
+
+    The skew regime of the paper's intro ("further aggravated by skew
+    access patterns in real workloads"): a few regions absorb most of the
+    load, which on a sharded plane melts the shard owning them — the
+    workload the rebalance controller exists for.
+    """
+    return [
+        Request(OP_SEARCH, hotspots.next_rect(rng, scale_gen))
+        for _ in range(n_requests)
+    ]
+
+
 def search_insert_mix(
     rng: random.Random,
     scale_gen,
@@ -230,6 +246,13 @@ def make_workload(
     if kind == "search":
         gen = scale_generator(scale_spec)
         return lambda client_id, rng: search_only(rng, gen, n_requests)
+    if kind == "search-skewed":
+        from .skew import HotspotQueries
+        gen = scale_generator(scale_spec)
+        hotspots = HotspotQueries(seed=0)  # shared across all clients
+        return lambda client_id, rng: skewed_search_only(
+            rng, gen, hotspots, n_requests
+        )
     if kind == "hybrid":
         gen = scale_generator(scale_spec)
         return lambda client_id, rng: search_insert_mix(

@@ -5,7 +5,9 @@ import random
 import pytest
 
 from repro.rtree.geometry import Rect
-from repro.shard.partition import ShardInfo, ShardMap, partition_str
+from repro.shard.partition import (
+    ShardInfo, ShardMap, TileEntry, partition_str, tile_contains,
+)
 
 
 def grid_items(n):
@@ -165,3 +167,223 @@ class TestShardMap:
         lines = part.shard_map.describe()
         assert len(lines) == 3
         assert "shard 0" in lines[0]
+
+
+class TestEpochRevisions:
+    """Split/merge/reassign keep the plane disjoint + covering and the
+    epoch strictly increasing — the invariants the epoch-aware router
+    and the rebalance controller both lean on."""
+
+    def test_static_map_stays_at_epoch_zero(self):
+        part = partition_str(random_items(100), 4)
+        shard_map = part.shard_map
+        shard_map.shards_for(Rect(0.1, 0.1, 0.2, 0.2))
+        shard_map.owner_of(Rect(0.5, 0.5, 0.5, 0.5))
+        assert shard_map.epoch == 0
+        shard_map.check_invariants()
+
+    def test_split_bumps_epoch_and_keeps_coverage(self):
+        shard_map = partition_str(random_items(100), 4).shard_map
+        index, entry = shard_map.owned_tiles(0)[0]
+        cx = 0.0 if entry.rect.minx == float("-inf") else entry.rect.minx
+        low, high = shard_map.split_tile(index, "x", cx + 0.1)
+        assert shard_map.epoch == 1
+        assert shard_map.tiles[low].owner == shard_map.tiles[high].owner == 0
+        shard_map.check_invariants()
+
+    def test_split_rejects_cut_outside_tile(self):
+        shard_map = partition_str(random_items(50), 2).shard_map
+        tile = shard_map.tiles[0].rect
+        with pytest.raises(ValueError):
+            shard_map.split_tile(0, "x", tile.maxx + 1.0)
+        with pytest.raises(ValueError):
+            shard_map.split_tile(0, "z", 0.5)
+
+    def test_split_then_merge_restores_the_tile(self):
+        shard_map = partition_str(random_items(100), 4).shard_map
+        index, entry = shard_map.owned_tiles(1)[0]
+        before = entry.rect
+        low, high = shard_map.split_tile(index, "y", 0.5)
+        kept = shard_map.merge_tiles(low, high)
+        assert shard_map.tiles[kept].rect == before
+        assert shard_map.epoch == 2
+        assert len(shard_map.tiles) == 4
+        shard_map.check_invariants()
+
+    def test_merge_rejects_non_rectangular_union(self):
+        shard_map = partition_str(random_items(100), 4).shard_map
+        index, _entry = shard_map.owned_tiles(0)[0]
+        low, high = shard_map.split_tile(index, "x", 0.1)
+        _ = shard_map.split_tile(low, "y", 0.2)
+        # low is now a quarter of the original tile; high the full-height
+        # other half — their union is L-shaped.
+        with pytest.raises(ValueError):
+            shard_map.merge_tiles(low, high)
+
+    def test_merge_rejects_different_owners(self):
+        shard_map = partition_str(random_items(100), 4).shard_map
+        with pytest.raises(ValueError):
+            shard_map.merge_tiles(0, 1)
+
+    def test_reassign_moves_ownership_and_counts(self):
+        shard_map = partition_str(random_items(200), 4).shard_map
+        index, entry = shard_map.owned_tiles(2)[0]
+        moved = shard_map[2].count
+        old = shard_map.reassign_tile(index, 0, moved_count=moved,
+                                      moved_mbr=entry.mbr)
+        assert old == 2
+        assert shard_map.tiles[index].owner == 0
+        assert shard_map[2].count == 0
+        assert shard_map[0].count == moved + 50  # its own ~50 items
+        # Center routing follows the new owner immediately.
+        cx, cy = entry.mbr.center()
+        assert shard_map.owner_of(Rect(cx, cy, cx, cy)) == 0
+        shard_map.check_invariants()
+
+    def test_reassign_rejects_bad_targets(self):
+        shard_map = partition_str(random_items(50), 2).shard_map
+        with pytest.raises(ValueError):
+            shard_map.reassign_tile(0, 9)
+        with pytest.raises(ValueError):
+            shard_map.reassign_tile(0, shard_map.tiles[0].owner)
+
+    def test_random_revision_sequences_keep_invariants(self):
+        """Any split/merge sequence leaves the tiles disjoint and
+        plane-covering (probe grid over every cut, on-cut points
+        included)."""
+        rng = random.Random(42)
+        shard_map = partition_str(random_items(150, seed=3), 4).shard_map
+        epoch = shard_map.epoch
+        for _step in range(40):
+            tiles = shard_map.tiles
+            index = rng.randrange(len(tiles))
+            rect = tiles[index].rect
+            axis = rng.choice("xy")
+            lo = rect.minx if axis == "x" else rect.miny
+            hi = rect.maxx if axis == "x" else rect.maxy
+            lo = max(lo, -2.0)
+            hi = min(hi, 3.0)
+            if hi - lo < 1e-6:
+                continue
+            cut = lo + rng.random() * (hi - lo)
+            try:
+                shard_map.split_tile(index, axis, cut)
+            except ValueError:
+                continue
+            assert shard_map.epoch > epoch
+            epoch = shard_map.epoch
+            shard_map.check_invariants()
+
+    def test_copy_is_independent(self):
+        shard_map = partition_str(random_items(80), 4).shard_map
+        clone = shard_map.copy()
+        index, _entry = shard_map.owned_tiles(0)[0]
+        shard_map.split_tile(index, "x", 0.01)
+        assert clone.epoch == 0
+        assert len(clone.tiles) == 4
+        clone.check_invariants()
+
+    def test_overlapping_tiles_fail_invariants(self):
+        inf = float("inf")
+        tile = Rect(-inf, -inf, inf, inf)
+        overlapping = [
+            TileEntry(Rect(-inf, -inf, 0.6, inf), 0),
+            TileEntry(Rect(0.4, -inf, inf, inf), 1),
+        ]
+        shard_map = ShardMap(
+            [ShardInfo(0, tile, None, 0), ShardInfo(1, tile, None, 0)],
+            tiles=overlapping,
+        )
+        with pytest.raises(ValueError):
+            shard_map.check_invariants()
+
+
+class TestReadTargets:
+    """Tile-granular read scatter: exact, pruned, stray-aware."""
+
+    def test_matches_shards_for_on_static_plane(self):
+        items = random_items(200)
+        part = partition_str(items, 4)
+        rng = random.Random(9)
+        for _ in range(100):
+            x, y = rng.random(), rng.random()
+            q = Rect(x, y, min(x + 0.1, 1.0), min(y + 0.1, 1.0))
+            assert (part.shard_map.read_targets(q)
+                    == sorted(part.shard_map.shards_for(q)))
+
+    def test_exact_superset_after_reassign(self):
+        """After a tile hand-off, every item's own rect must still reach
+        the shard that *holds* it — destination via the travelling tile
+        MBR, source via its stray cover until cleanup rebuilds."""
+        items = random_items(200)
+        part = partition_str(items, 4)
+        shard_map = part.shard_map
+        index, _entry = shard_map.owned_tiles(3)[0]
+        shard_map.reassign_tile(index, 0)
+        # Items remain physically on shard 3 (no migration ran); the
+        # stray cover must keep shard 3 in the scatter set.
+        for rect, data_id in part.assignments[3]:
+            assert 3 in shard_map.read_targets(rect), data_id
+        # And the new owner is targeted too (it may hold racing writes).
+        assert shard_map.stray_mbr(3) is not None
+
+    def test_prunes_empty_tiles(self):
+        items = [(Rect(0.1 + i * 0.01, 0.1, 0.11 + i * 0.01, 0.11), i)
+                 for i in range(64)]
+        part = partition_str(items, 4)
+        # All items sit in a tight cluster: a faraway query hits nothing.
+        assert part.shard_map.read_targets(Rect(5.0, 5.0, 6.0, 6.0)) == []
+
+    def test_single_shard_routes_everything(self):
+        part = partition_str(random_items(30), 1)
+        shard_map = part.shard_map
+        assert shard_map.read_targets(Rect(0.0, 0.0, 1.0, 1.0)) == [0]
+        assert shard_map.owner_of(Rect(-100.0, 3.0, -99.0, 4.0)) == 0
+
+    def test_infinite_tile_edges_accept_everything(self):
+        inf = float("inf")
+        tile = Rect(-inf, -inf, inf, inf)
+        assert tile_contains(tile, -1e300, 1e300)
+        assert tile_contains(tile, 0.0, 0.0)
+
+    def test_rebuild_shard_summary_recomputes_exactly(self):
+        items = random_items(120)
+        part = partition_str(items, 4)
+        shard_map = part.shard_map
+        index, entry = shard_map.owned_tiles(1)[0]
+        shard_map.reassign_tile(index, 2)
+        # Cleanup done: shard 1 holds nothing now; shard 2 holds both
+        # bucket 1 and bucket 2.
+        shard_map.rebuild_shard_summary(1, [])
+        merged = list(part.assignments[2]) + list(part.assignments[1])
+        shard_map.rebuild_shard_summary(2, merged)
+        assert shard_map.stray_mbr(1) is None
+        assert shard_map[1].count == 0
+        assert shard_map[1].mbr is None
+        assert shard_map[2].count == len(merged)
+        # Scatter sets are tight again: shard 1 never targeted.
+        for rect, _d in merged:
+            targets = shard_map.read_targets(rect)
+            assert 1 not in targets
+            assert 2 in targets
+
+    def test_note_insert_grows_tile_cover(self):
+        part = partition_str(random_items(100), 4)
+        shard_map = part.shard_map
+        outlier = Rect(0.0, 10.0, 0.1, 10.1)
+        owner = shard_map.owner_of(outlier)
+        shard_map.note_insert(owner, outlier)
+        assert owner in shard_map.read_targets(outlier)
+
+    def test_raced_write_lands_in_stray_cover(self):
+        """An insert acked by a shard that no longer owns the center's
+        tile (the write raced a cut-over) must still be readable."""
+        part = partition_str(random_items(100), 4)
+        shard_map = part.shard_map
+        index, entry = shard_map.owned_tiles(0)[0]
+        shard_map.reassign_tile(index, 1)
+        mbr = entry.mbr
+        cx, cy = mbr.center()
+        raced = Rect(cx, cy, cx, cy)
+        shard_map.note_insert(0, raced)  # shard 0 applied it anyway
+        assert 0 in shard_map.read_targets(raced)
